@@ -1,0 +1,40 @@
+"""Fig. 6: total power and per-rail breakdown.
+
+Expected shape (§IV-A2): desktop total is ~3 orders of magnitude above the
+ideal-AR budget (0.1-0.2 W) and GPU-dominant; Jetson-LP is ~2 orders above
+ideal with SoC+Sys exceeding 50% of total -- the motivation for on-sensor
+computing and system-level power work.
+"""
+
+from conftest import save_report
+
+from repro.analysis.report import render_fig6
+from repro.hardware.platform import JETSON_LP
+from repro.hardware.power import PowerModel
+
+
+def test_fig6_power(grid_runs, benchmark):
+    text = render_fig6(grid_runs)
+    save_report("fig6_power", text)
+
+    model = PowerModel(JETSON_LP)
+    benchmark(lambda: model.breakdown(cpu_utilization=0.2, gpu_utilization=0.8))
+
+    ideal_ar_power = 0.15
+    for run in grid_runs:
+        total = run.result.power.total
+        if run.platform.key == "desktop":
+            assert total / ideal_ar_power > 500       # ~3 orders of magnitude
+            assert run.result.power.share()["GPU"] > 0.5
+        elif run.platform.key == "jetson-lp":
+            assert 30 < total / ideal_ar_power < 120  # ~2 orders
+            shares = run.result.power.share()
+            assert shares["SoC"] + shares["Sys"] > 0.45
+    # Power ordering: desktop >> HP > LP for every app.
+    for app in ("sponza", "platformer"):
+        by_platform = {
+            r.platform.key: r.result.power.total
+            for r in grid_runs
+            if r.app_name == app
+        }
+        assert by_platform["desktop"] > by_platform["jetson-hp"] > by_platform["jetson-lp"]

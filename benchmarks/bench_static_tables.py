@@ -1,0 +1,33 @@
+"""Tables I-III: requirements, component inventory, tuned parameters.
+
+These tables are definitional (device survey, Table II registry, Table III
+config); the benchmark times their generation paths, and the reports land
+in results/.
+"""
+
+from conftest import save_report
+
+from repro.analysis.report import render_table1, render_table2, render_table3
+from repro.core.config import SystemConfig
+
+
+def test_table1_requirements(benchmark):
+    text = benchmark(render_table1)
+    save_report("table1_requirements", text)
+    assert "Ideal AR" in text
+
+
+def test_table2_components(benchmark):
+    text = benchmark(render_table2)
+    save_report("table2_components", text)
+    assert "repro.perception.vio" in text
+
+
+def test_table3_parameters(benchmark):
+    def build_and_render():
+        SystemConfig()  # validate the tuned defaults
+        return render_table3()
+
+    text = benchmark(build_and_render)
+    save_report("table3_parameters", text)
+    assert "66.7 ms" in text

@@ -1,0 +1,80 @@
+"""Spatial audio demo: encode, rotate, binauralize -- and write a WAV.
+
+Builds the paper's audio pipeline standalone: two mono sources (a
+speech-like "lecture" and a music-like "radio", the Freesound stand-ins)
+are ambisonic-encoded at order 3, the soundfield is rotated as the
+listener's head sweeps left-to-right, and binauralized through the
+spherical-head HRTF.  The output is a stereo WAV in which the sources
+audibly orbit the listener.
+
+Usage::
+
+    python examples/spatial_audio.py [seconds] [output.wav]
+"""
+
+import sys
+import wave
+
+import numpy as np
+
+from repro.audio.encoding import AudioEncoder
+from repro.audio.playback import AudioPlayback
+from repro.audio.sources import MusicLikeSource, SpeechLikeSource
+from repro.maths.quaternion import quat_from_axis_angle
+from repro.maths.se3 import Pose
+
+
+def main() -> None:
+    seconds = float(sys.argv[1]) if len(sys.argv) > 1 else 4.0
+    out_path = sys.argv[2] if len(sys.argv) > 2 else "spatial_audio.wav"
+
+    sample_rate = 48000
+    block = 1024
+    encoder = AudioEncoder(
+        [SpeechLikeSource(sample_rate_hz=sample_rate), MusicLikeSource(sample_rate_hz=sample_rate)],
+        block_size=block,
+    )
+    playback = AudioPlayback(block_size=block, sample_rate_hz=sample_rate)
+
+    n_blocks = int(seconds * sample_rate / block)
+    stereo_blocks = []
+    for i in range(n_blocks):
+        soundfield = encoder.encode_next_block()
+        # The listener sweeps their head through a full turn.
+        yaw = 2 * np.pi * i / n_blocks
+        pose = Pose(np.zeros(3), quat_from_axis_angle(np.array([0.0, 0.0, 1.0]), yaw))
+        stereo_blocks.append(playback.render_block(soundfield, pose))
+    stereo = np.concatenate(stereo_blocks, axis=1)
+
+    peak = np.abs(stereo).max()
+    if peak > 0:
+        stereo = stereo / peak * 0.9
+    pcm = (stereo.T * 32767).astype(np.int16)  # (samples, 2)
+    with wave.open(out_path, "wb") as handle:
+        handle.setnchannels(2)
+        handle.setsampwidth(2)
+        handle.setframerate(sample_rate)
+        handle.writeframes(pcm.tobytes())
+
+    # Quantify the spatialization: interaural level difference over time.
+    window = sample_rate // 4
+    n_windows = stereo.shape[1] // window
+    ild = []
+    for w in range(n_windows):
+        seg = stereo[:, w * window : (w + 1) * window]
+        rms = np.sqrt((seg**2).mean(axis=1)) + 1e-12
+        ild.append(20 * np.log10(rms[0] / rms[1]))
+    print(f"Wrote {out_path}: {stereo.shape[1] / sample_rate:.1f} s stereo @ {sample_rate} Hz")
+    print(
+        "Interaural level difference sweep (dB, + = left louder): "
+        + " ".join(f"{x:+.1f}" for x in ild)
+    )
+    print(f"ILD range {max(ild) - min(ild):.1f} dB -- the sources audibly move as the head turns.")
+    breakdown = playback.task_breakdown()
+    total = sum(breakdown.values())
+    print("Playback task shares (Table VII view): "
+          + ", ".join(f"{k} {v / total * 100:.0f}%" for k, v in breakdown.items()))
+
+
+if __name__ == "__main__":
+    main()

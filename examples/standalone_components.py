@@ -1,0 +1,52 @@
+"""Standalone component characterization (the paper's "ILLIXR v1" mode).
+
+Runs each component by itself on its dataset stand-in and prints the
+measured per-task time breakdown -- the reproduction of Tables VI and VII,
+plus the analytical Fig. 8 microarchitecture view.
+
+Usage::
+
+    python examples/standalone_components.py [--quick]
+"""
+
+import sys
+
+from repro.analysis.report import render_fig8, render_task_breakdown
+from repro.analysis.standalone import (
+    characterize_audio,
+    characterize_eye_tracking,
+    characterize_hologram,
+    characterize_reconstruction,
+    characterize_reprojection,
+    characterize_vio,
+)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    print("=" * 68)
+    print("Table VI: perception-component task breakdowns (measured)")
+    print("=" * 68)
+    print(render_task_breakdown(characterize_vio(duration_s=5.0 if quick else 15.0)))
+    print()
+    print(render_task_breakdown(characterize_reconstruction(frames=10 if quick else 30)))
+    print()
+    print("=" * 68)
+    print("Table VII: visual/audio component task breakdowns (measured)")
+    print("=" * 68)
+    print(render_task_breakdown(characterize_reprojection(frames=8 if quick else 24)))
+    print()
+    print(render_task_breakdown(characterize_hologram(iterations=4 if quick else 8)))
+    print()
+    for breakdown in characterize_audio(blocks=24 if quick else 96).values():
+        print(render_task_breakdown(breakdown))
+        print()
+    print(render_task_breakdown(characterize_eye_tracking(
+        train_steps=30 if quick else 100, eval_samples=8 if quick else 24)))
+    print()
+    print("=" * 68)
+    print(render_fig8())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` regenerates every table and figure."""
+
+from repro.analysis.main import main
+
+raise SystemExit(main())

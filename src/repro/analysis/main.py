@@ -1,0 +1,144 @@
+"""Regenerate every table and figure in one command.
+
+The equivalent of the paper artifact's ``results/analysis/main.py``::
+
+    python -m repro.analysis            # full runs (a few minutes)
+    python -m repro.analysis --quick    # short runs (~1 minute)
+    python -m repro.analysis --out results
+
+Writes one text file per table/figure under the output directory and
+prints each as it completes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.analysis import report
+from repro.analysis.experiments import run_matrix, vio_accuracy_ablation
+from repro.analysis.standalone import (
+    characterize_audio,
+    characterize_eye_tracking,
+    characterize_hologram,
+    characterize_reconstruction,
+    characterize_reprojection,
+    characterize_vio,
+)
+from repro.metrics.qoe import evaluate_image_quality
+
+
+def _write(out_dir: str, name: str, text: str) -> None:
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)
+
+
+def main(argv=None) -> int:
+    """Entry point: regenerate the full evaluation."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="short runs")
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    duration = 3.0 if args.quick else 10.0
+    started = time.perf_counter()
+
+    _write(args.out, "table1_requirements", report.render_table1())
+    _write(args.out, "table2_components", report.render_table2())
+    _write(args.out, "table3_parameters", report.render_table3())
+
+    print(f"\nRunning the integrated grid ({duration:g}s per cell)...")
+    runs = run_matrix(duration_s=duration, fidelity="full", seed=args.seed)
+    metrics_dir = os.path.join(args.out, "metrics")
+    os.makedirs(metrics_dir, exist_ok=True)
+    for run in runs:
+        run.result.save_metrics(
+            os.path.join(metrics_dir, f"metrics-{run.platform.key}-{run.app_name}.json")
+        )
+    _write(args.out, "fig3_framerates", report.render_fig3(runs))
+    platformer = [r for r in runs if r.app_name == "platformer"]
+    desktop_platformer = next(r for r in platformer if r.platform.key == "desktop")
+    _write(args.out, "fig4_timeseries", report.render_fig4(desktop_platformer))
+    _write(args.out, "fig5_cpu_breakdown", report.render_fig5(runs))
+    _write(args.out, "fig6_power", report.render_fig6(runs))
+    _write(args.out, "fig7_mtp_platformer", report.render_fig7(platformer))
+    _write(args.out, "fig8_microarchitecture", report.render_fig8())
+    _write(args.out, "table4_mtp", report.render_table4(runs))
+
+    print("\nReplaying image quality offline (Table V)...")
+    sponza = [r for r in runs if r.app_name == "sponza"]
+    quality = {
+        r.platform.key: evaluate_image_quality(
+            r.result, max_frames=8 if args.quick else 20
+        )
+        for r in sorted(sponza, key=lambda r: r.platform.cpu_scale)
+    }
+    _write(args.out, "table5_image_quality", report.render_table5(quality))
+
+    print("\nCharacterizing standalone components (Tables VI-VII)...")
+    _write(
+        args.out,
+        "table6_vio_tasks",
+        report.render_task_breakdown(
+            characterize_vio(duration_s=5.0 if args.quick else 15.0)
+        ),
+    )
+    _write(
+        args.out,
+        "table6_reconstruction_tasks",
+        report.render_task_breakdown(
+            characterize_reconstruction(frames=10 if args.quick else 30)
+        ),
+    )
+    _write(
+        args.out,
+        "table7_reprojection_tasks",
+        report.render_task_breakdown(
+            characterize_reprojection(frames=8 if args.quick else 24)
+        ),
+    )
+    _write(
+        args.out,
+        "table7_hologram_tasks",
+        report.render_task_breakdown(
+            characterize_hologram(iterations=4 if args.quick else 8)
+        ),
+    )
+    audio = characterize_audio(blocks=24 if args.quick else 96)
+    _write(
+        args.out,
+        "table7_audio_tasks",
+        report.render_task_breakdown(audio["audio_encoding"])
+        + "\n\n"
+        + report.render_task_breakdown(audio["audio_playback"]),
+    )
+    _write(
+        args.out,
+        "table7_eye_tracking_tasks",
+        report.render_task_breakdown(
+            characterize_eye_tracking(
+                train_steps=30 if args.quick else 100,
+                eval_samples=8 if args.quick else 24,
+            )
+        ),
+    )
+
+    _write(args.out, "shared_primitives", report.render_shared_primitives())
+
+    print("\nRunning the §V.E ablation...")
+    standard, high = vio_accuracy_ablation(duration_s=8.0 if args.quick else 20.0)
+    _write(args.out, "ablation_vio_params", report.render_ablation(standard, high))
+
+    elapsed = time.perf_counter() - started
+    print(f"\nAll reports regenerated in {elapsed:.0f}s -> {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,192 @@
+"""Per-task computation and memory patterns (Tables VI-VII text columns).
+
+The paper's task-breakdown tables carry two descriptive columns beyond the
+time share: the *computation* (KLT, GEMM, Cholesky, FFT, ...) and the
+*memory pattern* (dense/sparse, local/global, row/column-major).  This
+module records those descriptors for every task our implementations time,
+written against what our code actually does, so the full tables can be
+rendered.  Shared primitives across components (the paper's §V-B argument
+for shared accelerators) can be queried with :func:`shared_primitives`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class TaskDescriptor:
+    """One Table VI/VII row's text columns."""
+
+    component: str
+    task: str
+    computation: Tuple[str, ...]   # named primitives
+    memory_pattern: str
+
+
+TASK_DESCRIPTORS: Tuple[TaskDescriptor, ...] = (
+    # ------------------------------------------------------------- VIO
+    TaskDescriptor(
+        "vio", "feature_detection", ("feature selection", "budgeting"),
+        "sparse id-keyed map inserts",
+    ),
+    TaskDescriptor(
+        "vio", "feature_matching", ("track association",),
+        "mixed dense and random feature-map accesses",
+    ),
+    TaskDescriptor(
+        "vio", "feature_initialization",
+        ("DLT least squares", "Gauss-Newton", "Jacobian", "QR"),
+        "dense feature-map accesses; small dense matrices",
+    ),
+    TaskDescriptor(
+        "vio", "msckf_update",
+        ("QR nullspace projection", "chi2 check", "Cholesky solve", "GEMM"),
+        "dense state-matrix accesses; stacked residual rows",
+    ),
+    TaskDescriptor(
+        "vio", "slam_update", ("Jacobian", "chi2 check", "Cholesky solve", "GEMM"),
+        "mixed dense and sparse state-matrix accesses",
+    ),
+    TaskDescriptor(
+        "vio", "marginalization", ("row/column deletion",),
+        "dense state-matrix compaction",
+    ),
+    TaskDescriptor(
+        "vio", "other", ("RK4 integration", "covariance propagation", "GEMM"),
+        "dense 15x15 blocks; cross-covariance row updates",
+    ),
+    # ------------------------------------------- Scene reconstruction
+    TaskDescriptor(
+        "scene_reconstruction", "camera_processing",
+        ("bilateral-style filter", "invalid depth rejection"),
+        "locally dense image stencil",
+    ),
+    TaskDescriptor(
+        "scene_reconstruction", "image_processing",
+        ("vertex map", "normal map (cross products)"),
+        "globally dense image accesses",
+    ),
+    TaskDescriptor(
+        "scene_reconstruction", "pose_estimation",
+        ("point-to-plane ICP", "Gauss-Newton", "Cholesky solve", "Huber weighting", "reduction"),
+        "globally mixed dense/sparse image accesses; 6x6 normal equations",
+    ),
+    TaskDescriptor(
+        "scene_reconstruction", "surfel_prediction",
+        ("ray marching", "trilinear interpolation", "gradient"),
+        "globally sparse volume accesses along rays",
+    ),
+    TaskDescriptor(
+        "scene_reconstruction", "map_fusion",
+        ("projective association", "weighted running average"),
+        "globally dense voxel sweep; scattered image gathers",
+    ),
+    # ---------------------------------------------------- Reprojection
+    TaskDescriptor(
+        "timewarp", "fbo", ("framebuffer allocate/clear",),
+        "dense framebuffer writes",
+    ),
+    TaskDescriptor(
+        "timewarp", "opengl_state", ("warp-mesh evaluation", "interpolation setup"),
+        "coarse mesh evaluation; driver-call stand-in",
+    ),
+    TaskDescriptor(
+        "timewarp", "reprojection",
+        ("homography (matrix-vector)", "bilinear resampling", "radial distortion"),
+        "dense target sweep; scattered source gathers per channel",
+    ),
+    # -------------------------------------------------------- Hologram
+    TaskDescriptor(
+        "hologram", "hologram_to_depth", ("FFT", "transfer-function multiply", "IFFT"),
+        "globally dense accesses to hologram phases; butterfly pattern",
+    ),
+    TaskDescriptor(
+        "hologram", "sum", ("mean amplitude reduction",),
+        "globally dense accesses to partial sums",
+    ),
+    TaskDescriptor(
+        "hologram", "depth_to_hologram",
+        ("weight update", "FFT", "conjugate transfer multiply", "accumulate"),
+        "globally dense accesses to depth phases",
+    ),
+    # --------------------------------------------------- Audio encoding
+    TaskDescriptor(
+        "audio_encoding", "normalization", ("INT16 to FP32 division",),
+        "globally dense accesses to audio samples",
+    ),
+    TaskDescriptor(
+        "audio_encoding", "encoding", ("spherical harmonics", "outer product"),
+        "globally dense column-major accesses to the soundfield",
+    ),
+    TaskDescriptor(
+        "audio_encoding", "summation", ("channel-wise accumulate",),
+        "globally dense row-major accesses to the soundfield",
+    ),
+    # --------------------------------------------------- Audio playback
+    TaskDescriptor(
+        "audio_playback", "psychoacoustic_filter", ("FFT", "frequency weighting", "IFFT"),
+        "butterfly pattern; dense per-channel spectra",
+    ),
+    TaskDescriptor(
+        "audio_playback", "rotation", ("SH rotation (least squares per degree)", "GEMM"),
+        "dense block-diagonal matrix on the soundfield",
+    ),
+    TaskDescriptor(
+        "audio_playback", "zoom", ("first-order dominance mix",),
+        "two soundfield rows, dense",
+    ),
+    TaskDescriptor(
+        "audio_playback", "binauralization", ("FFT", "HRTF multiply", "IFFT", "overlap-add"),
+        "dense speaker spectra; per-ear reductions",
+    ),
+    # ----------------------------------------------------- Eye tracking
+    TaskDescriptor(
+        "eye_tracking", "convolution", ("im2col", "GEMM"),
+        "dense patch gathers; dense weight matrix",
+    ),
+    TaskDescriptor(
+        "eye_tracking", "batch_copy", ("host-to-device copy stand-in",),
+        "dense image copies",
+    ),
+    TaskDescriptor(
+        "eye_tracking", "activation", ("ReLU", "sigmoid"),
+        "globally dense elementwise",
+    ),
+    TaskDescriptor(
+        "eye_tracking", "misc", ("thresholding", "centroid"),
+        "dense mask reduction",
+    ),
+)
+
+
+def descriptors_for(component: str) -> List[TaskDescriptor]:
+    """All task descriptors of one component, in table order."""
+    return [d for d in TASK_DESCRIPTORS if d.component == component]
+
+
+def descriptor(component: str, task: str) -> TaskDescriptor:
+    """Look up one (component, task) row."""
+    for entry in TASK_DESCRIPTORS:
+        if entry.component == component and entry.task == task:
+            return entry
+    raise KeyError(f"no descriptor for {component}/{task}")
+
+
+def shared_primitives(min_components: int = 2) -> Dict[str, List[str]]:
+    """Primitives used by >= ``min_components`` components (§V-B).
+
+    The paper's argument for shared accelerator blocks: e.g. Cholesky
+    appears in both VIO and scene reconstruction; FFT in hologram and both
+    audio components; GEMM across VIO, eye tracking, and audio rotation.
+    """
+    by_primitive: Dict[str, set] = {}
+    for entry in TASK_DESCRIPTORS:
+        for primitive in entry.computation:
+            by_primitive.setdefault(primitive, set()).add(entry.component)
+    return {
+        primitive: sorted(components)
+        for primitive, components in sorted(by_primitive.items())
+        if len(components) >= min_components
+    }

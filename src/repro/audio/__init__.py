@@ -1,0 +1,29 @@
+"""Audio pipeline: spatial (ambisonic) audio.
+
+- :mod:`repro.audio.ambisonics` -- real spherical harmonics (ACN/N3D,
+  order 3) and higher-order ambisonic (HOA) encoding;
+- :mod:`repro.audio.rotation` -- exact per-degree SH rotation matrices
+  (soundfield rotation by head pose);
+- :mod:`repro.audio.hrtf` -- a synthetic head-related transfer function set
+  (interaural time delay + head shadow) and binaural decoding;
+- :mod:`repro.audio.encoding` -- the audio-encoding component
+  (normalization, encoding, summation -- Table VII);
+- :mod:`repro.audio.playback` -- the audio-playback component
+  (psychoacoustic filter, rotation, zoom, binauralization -- Table VII);
+- :mod:`repro.audio.sources` -- deterministic synthetic audio clips
+  (the Freesound stand-ins).
+"""
+
+from repro.audio.ambisonics import ambisonic_channels, encode_block, real_sh_matrix
+from repro.audio.encoding import AudioEncoder
+from repro.audio.playback import AudioPlayback
+from repro.audio.rotation import sh_rotation_matrix
+
+__all__ = [
+    "AudioEncoder",
+    "AudioPlayback",
+    "ambisonic_channels",
+    "encode_block",
+    "real_sh_matrix",
+    "sh_rotation_matrix",
+]

@@ -1,0 +1,99 @@
+"""Real spherical harmonics and higher-order ambisonic (HOA) encoding.
+
+Channels follow the ACN ordering with N3D normalization, the convention of
+libspatialaudio (the paper's audio implementation [41]).  Directions are
+unit vectors in the head frame (x forward, y left, z up).
+
+Encoding a mono source ``s`` from direction ``d`` produces the soundfield
+``B[c, t] = Y_c(d) * s[t]`` -- the ``Y[j][i] = D x X[j]`` mapping of Table
+VII's *encoding* row; multiple sources sum channel-wise (*summation*).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ambisonic_channels(order: int) -> int:
+    """Number of HOA channels for a given order: (order + 1)^2."""
+    if order < 0:
+        raise ValueError(f"order must be >= 0: {order}")
+    return (order + 1) ** 2
+
+
+def real_sh_matrix(order: int, directions: np.ndarray) -> np.ndarray:
+    """Real SH values Y (N3D, ACN order) for unit ``directions`` (N, 3).
+
+    Supports orders 0-3 (16 channels), the range used by HOA audio.
+    Returns shape (N, (order+1)^2).
+    """
+    if not 0 <= order <= 3:
+        raise ValueError(f"order must be in [0, 3]: {order}")
+    d = np.atleast_2d(np.asarray(directions, dtype=float))
+    norms = np.linalg.norm(d, axis=1)
+    if np.any(norms < 1e-12):
+        raise ValueError("directions must be nonzero")
+    d = d / norms[:, None]
+    x, y, z = d[:, 0], d[:, 1], d[:, 2]
+    cols = [np.ones_like(x)]  # ACN 0: Y_0^0
+    if order >= 1:
+        s3 = np.sqrt(3.0)
+        cols += [s3 * y, s3 * z, s3 * x]  # ACN 1..3
+    if order >= 2:
+        s15 = np.sqrt(15.0)
+        s5 = np.sqrt(5.0)
+        cols += [
+            s15 * x * y,                     # ACN 4
+            s15 * y * z,                     # ACN 5
+            s5 / 2.0 * (3 * z * z - 1.0),    # ACN 6
+            s15 * x * z,                     # ACN 7
+            s15 / 2.0 * (x * x - y * y),     # ACN 8
+        ]
+    if order >= 3:
+        s35_8 = np.sqrt(35.0 / 8.0)
+        s105 = np.sqrt(105.0)
+        s21_8 = np.sqrt(21.0 / 8.0)
+        s7 = np.sqrt(7.0)
+        cols += [
+            s35_8 * y * (3 * x * x - y * y),     # ACN 9
+            s105 * x * y * z,                    # ACN 10
+            s21_8 * y * (5 * z * z - 1.0),       # ACN 11
+            s7 / 2.0 * z * (5 * z * z - 3.0),    # ACN 12
+            s21_8 * x * (5 * z * z - 1.0),       # ACN 13
+            s105 / 2.0 * z * (x * x - y * y),    # ACN 14
+            s35_8 * x * (x * x - 3 * y * y),     # ACN 15
+        ]
+    return np.stack(cols, axis=1)
+
+
+def encode_block(signal: np.ndarray, direction: np.ndarray, order: int) -> np.ndarray:
+    """Encode one mono block from one direction into HOA channels.
+
+    Returns shape (channels, len(signal)).
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ValueError("signal must be mono (1-D)")
+    gains = real_sh_matrix(order, np.asarray(direction, dtype=float))[0]
+    return np.outer(gains, signal)
+
+
+def decode_matrix(order: int, speaker_directions: np.ndarray) -> np.ndarray:
+    """Pseudoinverse (mode-matching) decoder to a virtual speaker layout.
+
+    Returns shape (n_speakers, channels): speaker signals = D @ soundfield.
+    """
+    y = real_sh_matrix(order, speaker_directions)  # (S, C)
+    return np.linalg.pinv(y.T)
+
+
+def fibonacci_directions(count: int) -> np.ndarray:
+    """A near-uniform spherical point set (virtual speaker layout)."""
+    if count < 4:
+        raise ValueError(f"need at least 4 directions: {count}")
+    indices = np.arange(count) + 0.5
+    phi = np.arccos(1 - 2 * indices / count)
+    theta = np.pi * (1 + 5**0.5) * indices
+    return np.stack(
+        [np.cos(theta) * np.sin(phi), np.sin(theta) * np.sin(phi), np.cos(phi)], axis=1
+    )

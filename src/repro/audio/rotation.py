@@ -1,0 +1,81 @@
+"""Exact spherical-harmonic rotation matrices.
+
+Rotating a soundfield by the listener's head orientation is the *rotation*
+task of Table VII's audio playback.  Real SH of degree ``l`` span a
+(2l+1)-dimensional rotation-invariant subspace, so the rotation operator is
+block diagonal.  Each block is recovered exactly by projection: evaluate
+the SH basis on a fixed, well-conditioned direction set ``D`` and solve
+
+    R_l @ Y_l(D)^T = Y_l(rot(D))^T
+
+in the least-squares sense -- exact (to machine precision) because both
+sides live in the same (2l+1)-dimensional space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio.ambisonics import ambisonic_channels, fibonacci_directions, real_sh_matrix
+
+# A fixed sample set, comfortably over-determined for order 3.
+_SAMPLE_DIRECTIONS = fibonacci_directions(48)
+
+
+def sh_rotation_matrix(order: int, rotation: np.ndarray) -> np.ndarray:
+    """Block-diagonal SH rotation matrix for a 3x3 rotation.
+
+    Applying the returned (C, C) matrix to an ACN/N3D soundfield rotates
+    the encoded scene by ``rotation`` (world-frame rotation of sources).
+    """
+    rotation = np.asarray(rotation, dtype=float)
+    if rotation.shape != (3, 3):
+        raise ValueError(f"expected a 3x3 rotation, got {rotation.shape}")
+    channels = ambisonic_channels(order)
+    result = np.zeros((channels, channels))
+    result[0, 0] = 1.0
+    y_all = real_sh_matrix(order, _SAMPLE_DIRECTIONS)
+    y_rot_all = real_sh_matrix(order, _SAMPLE_DIRECTIONS @ rotation.T)
+    for degree in range(1, order + 1):
+        start = degree * degree
+        stop = (degree + 1) ** 2
+        y = y_all[:, start:stop]         # (N, 2l+1)
+        y_rot = y_rot_all[:, start:stop]
+        # Solve R_l from Y_rot = Y @ R_l^T  (rows are directions).
+        block_t, _res, _rank, _sv = np.linalg.lstsq(y, y_rot, rcond=None)
+        result[start:stop, start:stop] = block_t.T
+    return result
+
+
+def rotate_soundfield(soundfield: np.ndarray, order: int, rotation: np.ndarray) -> np.ndarray:
+    """Rotate a (channels, samples) soundfield block by a 3x3 rotation."""
+    matrix = sh_rotation_matrix(order, rotation)
+    if soundfield.shape[0] != matrix.shape[0]:
+        raise ValueError(
+            f"soundfield has {soundfield.shape[0]} channels, expected {matrix.shape[0]}"
+        )
+    return matrix @ soundfield
+
+
+def zoom_soundfield(soundfield: np.ndarray, strength: float) -> np.ndarray:
+    """First-order acoustic zoom along +x (the look direction).
+
+    The classic Lund/Zotter dominance operator mixes W (ACN 0) and X
+    (ACN 3): sources ahead are emphasized, sources behind attenuated.
+    ``strength`` in [-1, 1]; 0 is identity.
+    """
+    if not -1.0 <= strength <= 1.0:
+        raise ValueError(f"zoom strength out of [-1, 1]: {strength}")
+    if soundfield.shape[0] < 4:
+        raise ValueError("zoom needs at least first-order content (4 channels)")
+    out = soundfield.copy()
+    w = soundfield[0]
+    x = soundfield[3]
+    # N3D first-order dominance (unit gain at strength 0).
+    s = strength
+    out[0] = w + s / np.sqrt(3.0) * x
+    out[3] = x + s * np.sqrt(3.0) * w
+    norm = 1.0 / np.sqrt(1.0 + s * s)
+    out[0] *= norm
+    out[3] *= norm
+    return out

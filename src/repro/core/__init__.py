@@ -1,0 +1,30 @@
+"""The ILLIXR-style runtime: the paper's primary contribution.
+
+The runtime is structured exactly as §II-B of the paper describes:
+
+- components are **plugins** (:mod:`repro.core.plugin`) that may only
+  interact through **event streams** (:mod:`repro.core.switchboard`);
+- shared services are looked up through the **phonebook**
+  (:mod:`repro.core.phonebook`);
+- a **scheduler** (:mod:`repro.core.scheduler`) runs each plugin at its
+  period on the simulated platform, enforcing the synchronous/asynchronous
+  dependencies of Fig. 2;
+- **telemetry** (:mod:`repro.core.records`) logs every invocation so that
+  frame rates, execution times, CPU attribution, and MTP can be derived.
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.phonebook import Phonebook
+from repro.core.plugin import IterationResult, Plugin
+from repro.core.records import InvocationRecord, RecordLogger
+from repro.core.switchboard import Switchboard
+
+__all__ = [
+    "InvocationRecord",
+    "IterationResult",
+    "Phonebook",
+    "Plugin",
+    "RecordLogger",
+    "Switchboard",
+    "SystemConfig",
+]

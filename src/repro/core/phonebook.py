@@ -1,0 +1,43 @@
+"""The phonebook: ILLIXR's service registry.
+
+Plugins obtain shared services (the clock, pose prediction, the platform
+model) by name rather than by direct reference, which keeps them decoupled
+and interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+class ServiceNotFound(KeyError):
+    """Raised when a plugin looks up a service nobody registered."""
+
+
+class Phonebook:
+    """A name -> service registry with single registration per name."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, Any] = {}
+
+    def register(self, name: str, service: Any) -> None:
+        """Register ``service`` under ``name``; names are single-use."""
+        if name in self._services:
+            raise ValueError(f"service {name!r} already registered")
+        self._services[name] = service
+
+    def lookup(self, name: str) -> Any:
+        """Return the service registered under ``name``."""
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ServiceNotFound(
+                f"no service {name!r}; available: {sorted(self._services)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def names(self) -> List[str]:
+        """All registered service names, sorted."""
+        return sorted(self._services)

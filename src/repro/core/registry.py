@@ -1,0 +1,66 @@
+"""Component registry: algorithms and implementations (Table II).
+
+Mirrors the paper's Table II: every pipeline component, the algorithm it
+implements, and the implementation -- here, which :mod:`repro` module
+provides it and which original system it stands in for.  Components with
+multiple rows have interchangeable alternative implementations; the
+starred (default) alternative is the one used for detailed results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ComponentEntry:
+    """One Table II row."""
+
+    pipeline: str
+    component: str
+    algorithm: str
+    original: str          # the implementation the paper used
+    module: str            # our implementing module
+    default: bool          # the * alternative in Table II
+
+
+COMPONENT_REGISTRY: Tuple[ComponentEntry, ...] = (
+    # Perception pipeline
+    ComponentEntry("perception", "camera", "Stereo feature frames from landmark field", "ZED SDK *", "repro.sensors.camera", True),
+    ComponentEntry("perception", "camera", "Offline dataset replay", "Intel RealSense SDK", "repro.sensors.dataset", False),
+    ComponentEntry("perception", "imu", "White noise + bias random walk synthesis", "ZED SDK *", "repro.sensors.imu", True),
+    ComponentEntry("perception", "vio", "Stereo MSCKF with EKF-SLAM landmarks", "OpenVINS *", "repro.perception.vio", True),
+    ComponentEntry("perception", "vio", "Stereo EKF-SLAM (landmarks in state, no clone window)", "Kimera-VIO", "repro.perception.vio.ekf_slam", False),
+    ComponentEntry("perception", "imu_integrator", "RK4 strapdown integration", "RK4 [33] *", "repro.perception.integrator.Rk4Integrator", True),
+    ComponentEntry("perception", "imu_integrator", "First-order exponential-map integration", "GTSAM", "repro.perception.integrator.ComplementaryIntegrator", False),
+    ComponentEntry("perception", "eye_tracking", "FCN pupil segmentation (numpy CNN)", "RITnet", "repro.perception.eye_tracking", True),
+    ComponentEntry("perception", "scene_reconstruction", "TSDF fusion + point-to-plane ICP", "ElasticFusion *", "repro.perception.reconstruction", True),
+    ComponentEntry("perception", "scene_reconstruction", "(same volume; KinectFusion-style)", "KinectFusion", "repro.perception.reconstruction", False),
+    # Visual pipeline
+    ComponentEntry("visual", "reprojection", "Rotational homography reprojection with pose", "VP-matrix reprojection [39]", "repro.visual.reprojection.rotational_reproject", True),
+    ComponentEntry("visual", "reprojection", "Translational (depth-aided) reprojection", "(post-paper ILLIXR)", "repro.visual.reprojection.translational_reproject", False),
+    ComponentEntry("visual", "lens_distortion", "Mesh-based radial distortion", "Mesh-based radial distortion [39]", "repro.visual.distortion", True),
+    ComponentEntry("visual", "chromatic_aberration", "Per-channel mesh-based radial warp", "Mesh-based radial distortion [39]", "repro.visual.distortion", True),
+    ComponentEntry("visual", "adaptive_display", "Weighted Gerchberg-Saxton holography", "Weighted Gerchberg-Saxton [40]", "repro.visual.hologram", True),
+    # Audio pipeline
+    ComponentEntry("audio", "audio_encoding", "HOA ambisonic encoding (order 3, ACN/N3D)", "libspatialaudio [41]", "repro.audio.encoding", True),
+    ComponentEntry("audio", "audio_playback", "Soundfield rotation/zoom + HRTF binauralization", "libspatialaudio [41]", "repro.audio.playback", True),
+)
+
+
+def registry_by_pipeline() -> Dict[str, List[ComponentEntry]]:
+    """Group the registry rows by pipeline."""
+    grouped: Dict[str, List[ComponentEntry]] = {}
+    for entry in COMPONENT_REGISTRY:
+        grouped.setdefault(entry.pipeline, []).append(entry)
+    return grouped
+
+
+def default_components() -> List[ComponentEntry]:
+    """The starred (default) implementation of each component."""
+    seen: Dict[str, ComponentEntry] = {}
+    for entry in COMPONENT_REGISTRY:
+        if entry.default and entry.component not in seen:
+            seen[entry.component] = entry
+    return list(seen.values())

@@ -1,0 +1,277 @@
+"""The runtime scheduler: plugins on a simulated platform (§II-B).
+
+Each plugin becomes a driver process on the DES engine:
+
+- :class:`~repro.core.plugin.Periodic` plugins tick at their period; a tick
+  that finds the previous invocation still running is *dropped* (the
+  frame-skip behaviour §IV-A1 observes for the application and
+  reprojection on the Jetsons).
+- :class:`~repro.core.plugin.OnTopic` plugins run when their producer
+  publishes (the synchronous dependences of Fig. 2); publishes that arrive
+  while busy are dropped (the consumer will pick up the latest data on its
+  next run, which is how VIO falls behind the camera).
+- :class:`~repro.core.plugin.OnVsync` plugins start ``lead`` seconds before
+  each vsync so they read the freshest pose (footnote 5); their outputs are
+  released at the vsync at/after completion, and the wait is reported as
+  the swap time for MTP.
+
+An invocation occupies one CPU core for its sampled ``cpu_time`` and then
+the GPU for ``gpu_time``; contention for those resources -- not added
+noise -- produces the execution-time variability of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.plugin import InvocationContext, IterationResult, OnTopic, OnVsync, Periodic, Plugin
+from repro.core.records import InvocationRecord, RecordLogger
+from repro.core.switchboard import Switchboard
+from repro.hardware.platform import Platform
+from repro.hardware.timing import TimingModel
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+
+
+@dataclass
+class CompletionInfo:
+    """Timing facts handed to ``plugin.on_complete`` after an invocation."""
+
+    scheduled_at: float
+    start: float
+    end: float
+    cpu_time: float
+    gpu_time: float
+    swap_time: float   # when outputs became visible (vsync for OnVsync)
+
+
+class Scheduler:
+    """Drives all plugins on the simulated platform."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        platform: Platform,
+        timing: TimingModel,
+        switchboard: Switchboard,
+        logger: RecordLogger,
+        app_name: Optional[str] = None,
+        dilation: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.engine = engine
+        self.platform = platform
+        self.timing = timing
+        self.switchboard = switchboard
+        self.logger = logger
+        self.app_name = app_name
+        self.cpu = Resource(engine, platform.cpu_cores, name="cpu")
+        self.gpu = Resource(engine, platform.gpu_concurrency, name="gpu")
+        # GPU preemption granularity (draw-call/kernel boundary timeslice).
+        self.gpu_quantum = 2.0e-3
+        # Per-component clock dilation (§V.G, evaluation-tools idea 3):
+        # a component whose detailed model runs in an external simulator
+        # can be slowed by a factor so the rest of the system experiences
+        # its simulated-speed behaviour (hybrid real+simulated systems).
+        self.dilation: Dict[str, float] = dict(dilation or {})
+        for component, factor in self.dilation.items():
+            if factor <= 0:
+                raise ValueError(f"dilation for {component!r} must be positive")
+        self._busy: Dict[str, bool] = {}
+        self._indices: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def add_plugin(self, plugin: Plugin) -> None:
+        """Register a plugin's driver according to its trigger."""
+        self._busy[plugin.name] = False
+        self._indices[plugin.name] = 0
+        trigger = plugin.trigger
+        if isinstance(trigger, Periodic):
+            self.engine.process(self._periodic_driver(plugin, trigger), name=plugin.name)
+        elif isinstance(trigger, OnVsync):
+            self.engine.process(self._vsync_driver(plugin, trigger), name=plugin.name)
+        elif isinstance(trigger, OnTopic):
+            self._install_topic_driver(plugin, trigger)
+        else:
+            raise TypeError(f"unknown trigger type: {trigger!r}")
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+
+    def _periodic_driver(self, plugin: Plugin, trigger: Periodic):
+        period = trigger.period
+        tick = 0
+        while True:
+            scheduled = tick * period
+            if scheduled > self.engine.now:
+                yield self.engine.timeout(scheduled - self.engine.now)
+            if self._busy[plugin.name]:
+                self.logger.log_drop(plugin.name, scheduled)
+            else:
+                self._busy[plugin.name] = True
+                self.engine.process(
+                    self._invocation(plugin, scheduled, deadline=period),
+                    name=f"{plugin.name}#{tick}",
+                )
+            tick += 1
+
+    def _vsync_driver(self, plugin: Plugin, trigger: OnVsync):
+        period = trigger.period
+        tick = 1
+        while True:
+            vsync = tick * period
+            start_at = vsync - trigger.lead
+            if start_at > self.engine.now:
+                yield self.engine.timeout(start_at - self.engine.now)
+            if self._busy[plugin.name]:
+                self.logger.log_drop(plugin.name, start_at)
+            else:
+                # Deadline = the lead: finishing after it means the vsync
+                # was missed and the frame slips to the next one.
+                self._busy[plugin.name] = True
+                self.engine.process(
+                    self._invocation(
+                        plugin, start_at, deadline=trigger.lead, vsync_period=period
+                    ),
+                    name=f"{plugin.name}#{tick}",
+                )
+            tick += 1
+
+    def _install_topic_driver(self, plugin: Plugin, trigger: OnTopic) -> None:
+        topic = self.switchboard.topic(trigger.topic)
+
+        def on_publish(_event) -> None:
+            if self._busy[plugin.name]:
+                self.logger.log_drop(plugin.name, self.engine.now)
+            else:
+                self._busy[plugin.name] = True
+                self.engine.process(
+                    self._invocation(plugin, self.engine.now, deadline=None, trigger_event=_event),
+                    name=f"{plugin.name}@{self.engine.now:.4f}",
+                )
+
+        topic.subscribe_callback(on_publish)
+
+    # ------------------------------------------------------------------
+    # One invocation
+    # ------------------------------------------------------------------
+
+    def _invocation(
+        self,
+        plugin: Plugin,
+        scheduled_at: float,
+        deadline: Optional[float],
+        vsync_period: Optional[float] = None,
+        trigger_event=None,
+    ):
+        # The spawner already marked the plugin busy (it must happen
+        # before any other same-timestamp trigger fires).
+        index = self._indices[plugin.name]
+        self._indices[plugin.name] += 1
+        start = self.engine.now
+        ctx = InvocationContext(now=start, index=index, trigger_event=trigger_event)
+        result: IterationResult = plugin.iteration(ctx)
+        if result.skipped:
+            self._busy[plugin.name] = False
+            return
+
+        cost = self.timing.sample(
+            plugin.component,
+            app=self.app_name if plugin.component == "application" else None,
+            complexity=max(result.complexity, 1e-3),
+        )
+        dilation = self.dilation.get(plugin.component, 1.0)
+        if dilation != 1.0:
+            from repro.hardware.timing import CostSample
+
+            cost = CostSample(cost.cpu_time * dilation, cost.gpu_time * dilation)
+
+        # CPU phase: occupy one core.
+        request = self.cpu.request()
+        yield request
+        yield self.engine.timeout(cost.cpu_time)
+        self.cpu.release(request)
+
+        # GPU phase (if any): occupy the GPU in timeslice quanta so a
+        # high-priority client (the compositor's reprojection context) can
+        # jump in at quantum boundaries instead of waiting out a whole
+        # application frame.
+        if cost.gpu_time > 0:
+            if self.platform.gpu_priority_contexts:
+                # Discrete GPU: fine-grained timeslicing + priority contexts.
+                priority = getattr(plugin, "gpu_priority", 0)
+                quantum = self.gpu_quantum
+            else:
+                # Integrated GPU: clients yield only at draw-call boundaries,
+                # and draws scale with scene complexity -- so a heavy app
+                # blocks the compositor for longer stretches (the Jetsons'
+                # app-dependent MTP degradation, Table IV).
+                priority = 0
+                quantum = max(0.5e-3, cost.gpu_time / 10.0)
+            remaining = cost.gpu_time
+            while remaining > 1e-12:
+                slice_time = min(remaining, quantum)
+                gpu_request = self.gpu.request(priority=priority)
+                yield gpu_request
+                yield self.engine.timeout(slice_time)
+                self.gpu.release(gpu_request)
+                remaining -= slice_time
+
+        # Resource-free delay: an offloaded component's remote compute and
+        # network round trip (no local CPU/GPU is held).
+        if result.extra_delay > 0:
+            yield self.engine.timeout(result.extra_delay)
+
+        end = self.engine.now
+        # Output release: vsync-aligned plugins hold results to the vsync.
+        swap_time = end
+        if vsync_period is not None:
+            swap_time = math.ceil(end / vsync_period - 1e-9) * vsync_period
+            if swap_time > end:
+                yield self.engine.timeout(swap_time - end)
+
+        for output in result.outputs:
+            self.switchboard.topic(output.topic).put(
+                self.engine.now, output.data, data_time=output.data_time
+            )
+
+        missed = deadline is not None and (end - scheduled_at) > deadline
+        self.logger.log(
+            InvocationRecord(
+                plugin=plugin.name,
+                component=plugin.component,
+                pipeline=plugin.pipeline,
+                index=index,
+                scheduled_at=scheduled_at,
+                start=start,
+                end=end,
+                cpu_time=cost.cpu_time,
+                gpu_time=cost.gpu_time,
+                deadline=deadline,
+                missed_deadline=missed,
+            )
+        )
+        on_complete: Optional[Callable[[CompletionInfo], None]] = getattr(
+            plugin, "on_complete", None
+        )
+        if on_complete is not None:
+            on_complete(
+                CompletionInfo(
+                    scheduled_at=scheduled_at,
+                    start=start,
+                    end=end,
+                    cpu_time=cost.cpu_time,
+                    gpu_time=cost.gpu_time,
+                    swap_time=swap_time,
+                )
+            )
+        self._busy[plugin.name] = False
+
+    # ------------------------------------------------------------------
+
+    def utilization(self) -> Dict[str, float]:
+        """Mean CPU and GPU utilization so far."""
+        return {"cpu": self.cpu.utilization(), "gpu": self.gpu.utilization()}

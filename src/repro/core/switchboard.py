@@ -1,0 +1,146 @@
+"""The switchboard: ILLIXR's event-stream communication framework.
+
+Per §II-B of the paper, event streams support writes, **asynchronous reads**
+(consumer asks for the latest value) and **synchronous reads** (consumer sees
+every value the producer publishes).  Plugins may only interact through these
+streams, which is what makes components interchangeable.
+
+Streams are typed by topic name.  Every published event carries the virtual
+time at which it was published, so consumers can compute data ages (the basis
+of the motion-to-photon metric).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class StampedEvent(Generic[T]):
+    """A value published on a topic, stamped with its publication time.
+
+    ``data_time`` optionally records the timestamp of the underlying datum
+    (e.g. the IMU sample time behind a pose estimate), which can be older
+    than ``publish_time`` -- their difference is the data's age at
+    publication.
+    """
+
+    publish_time: float
+    data: T
+    data_time: Optional[float] = None
+    sequence: int = 0
+
+    @property
+    def effective_data_time(self) -> float:
+        """The datum's own timestamp, defaulting to the publication time."""
+        return self.publish_time if self.data_time is None else self.data_time
+
+
+class Topic(Generic[T]):
+    """A single event stream: one logical writer, many readers."""
+
+    def __init__(self, name: str, history: int = 128) -> None:
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self.name = name
+        self._history: Deque[StampedEvent[T]] = deque(maxlen=history)
+        self._sequence = 0
+        self._queues: List[Deque[StampedEvent[T]]] = []
+        self._callbacks: List[Callable[[StampedEvent[T]], None]] = []
+
+    def put(self, publish_time: float, data: T, data_time: Optional[float] = None) -> StampedEvent[T]:
+        """Publish ``data`` at ``publish_time``; notify all readers."""
+        if self._history and publish_time < self._history[-1].publish_time:
+            raise ValueError(
+                f"topic {self.name!r}: non-monotonic publish time "
+                f"{publish_time} < {self._history[-1].publish_time}"
+            )
+        event = StampedEvent(publish_time, data, data_time, self._sequence)
+        self._sequence += 1
+        self._history.append(event)
+        for queue in self._queues:
+            queue.append(event)
+        for callback in self._callbacks:
+            callback(event)
+        return event
+
+    def get_latest(self) -> Optional[StampedEvent[T]]:
+        """Asynchronous read: the most recent event, or None if empty."""
+        return self._history[-1] if self._history else None
+
+    def get_latest_before(self, time: float) -> Optional[StampedEvent[T]]:
+        """The most recent event published at or before ``time``."""
+        for event in reversed(self._history):
+            if event.publish_time <= time:
+                return event
+        return None
+
+    def subscribe_queue(self) -> "SyncReader[T]":
+        """Synchronous read: a reader that sees every subsequent event."""
+        queue: Deque[StampedEvent[T]] = deque()
+        self._queues.append(queue)
+        return SyncReader(self, queue)
+
+    def subscribe_callback(self, callback: Callable[[StampedEvent[T]], None]) -> None:
+        """Invoke ``callback`` on every publish (used by the scheduler)."""
+        self._callbacks.append(callback)
+
+    @property
+    def count(self) -> int:
+        """Total number of events ever published."""
+        return self._sequence
+
+    def history(self) -> Iterator[StampedEvent[T]]:
+        """Iterate over the retained event history, oldest first."""
+        return iter(self._history)
+
+
+class SyncReader(Generic[T]):
+    """A synchronous subscription: drains every event exactly once."""
+
+    def __init__(self, topic: Topic[T], queue: Deque[StampedEvent[T]]) -> None:
+        self.topic = topic
+        self._queue = queue
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def pop(self) -> StampedEvent[T]:
+        """Remove and return the oldest unread event."""
+        if not self._queue:
+            raise IndexError(f"no unread events on {self.topic.name!r}")
+        return self._queue.popleft()
+
+    def drain(self) -> List[StampedEvent[T]]:
+        """Remove and return all unread events, oldest first."""
+        events = list(self._queue)
+        self._queue.clear()
+        return events
+
+    def peek(self) -> Optional[StampedEvent[T]]:
+        """The oldest unread event without removing it, or None."""
+        return self._queue[0] if self._queue else None
+
+
+@dataclass
+class Switchboard:
+    """Registry of topics; the only channel between plugins."""
+
+    _topics: Dict[str, Topic[Any]] = field(default_factory=dict)
+
+    def topic(self, name: str, history: int = 128) -> Topic[Any]:
+        """Get or create the topic called ``name``."""
+        if name not in self._topics:
+            self._topics[name] = Topic(name, history=history)
+        return self._topics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._topics
+
+    def topic_names(self) -> List[str]:
+        """All registered topic names, sorted."""
+        return sorted(self._topics)

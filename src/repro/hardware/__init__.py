@@ -1,0 +1,33 @@
+"""Hardware platform models.
+
+The paper characterizes ILLIXR on three configurations: a high-end desktop
+(Intel Xeon E-2236 + RTX 2080) and an NVIDIA Jetson AGX Xavier in
+high-performance (Jetson-HP) and low-power (Jetson-LP) modes.  This package
+models those platforms for the discrete-event substrate:
+
+- :mod:`repro.hardware.platform` -- core counts, clocks, GPU concurrency;
+- :mod:`repro.hardware.timing` -- per-component execution-time models
+  calibrated to the paper's §IV measurements;
+- :mod:`repro.hardware.power` -- power rails (CPU/GPU/DDR/SoC/Sys);
+- :mod:`repro.hardware.uarch` -- analytical IPC/cycle-breakdown model.
+"""
+
+from repro.hardware.platform import DESKTOP, JETSON_HP, JETSON_LP, PLATFORMS, Platform
+from repro.hardware.power import PowerBreakdown, PowerModel
+from repro.hardware.timing import CostSample, TimingModel
+from repro.hardware.uarch import CycleBreakdown, MicroarchModel, WorkloadProfile
+
+__all__ = [
+    "CostSample",
+    "CycleBreakdown",
+    "DESKTOP",
+    "JETSON_HP",
+    "JETSON_LP",
+    "MicroarchModel",
+    "PLATFORMS",
+    "Platform",
+    "PowerBreakdown",
+    "PowerModel",
+    "TimingModel",
+    "WorkloadProfile",
+]

@@ -1,0 +1,130 @@
+"""Platform specifications (§III-A of the paper).
+
+``gpu_concurrency`` models the degree to which the GPU can overlap work from
+independent clients: the discrete RTX 2080 timeslices/overlaps two contexts
+effectively (async compute + graphics), while the Jetson's integrated Volta
+GPU serializes clients, which is precisely what makes the visual pipeline
+degrade so sharply on the Jetsons (§IV-A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One hardware configuration the system runs on."""
+
+    key: str
+    name: str
+    cpu_description: str
+    gpu_description: str
+    cpu_cores: int
+    cpu_freq_ghz: float
+    gpu_concurrency: int
+    # Whether the GPU honors high-priority contexts (discrete desktop GPUs
+    # do; the Jetson's integrated Volta serializes clients FIFO, so the
+    # compositor cannot jump the queue -- a key source of the Jetsons'
+    # app-complexity-dependent MTP degradation, Table IV).
+    gpu_priority_contexts: bool
+    # Per-platform multipliers on the desktop-calibrated component costs.
+    cpu_scale: float
+    gpu_scale: float
+    # Class of device the platform approximates (for reports).
+    approximates: str
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores < 1:
+            raise ValueError(f"cpu_cores must be >= 1: {self.cpu_cores}")
+        if self.gpu_concurrency < 1:
+            raise ValueError(f"gpu_concurrency must be >= 1: {self.gpu_concurrency}")
+        if self.cpu_scale <= 0 or self.gpu_scale <= 0:
+            raise ValueError("platform scales must be positive")
+
+    def cycles(self, cpu_seconds: float) -> float:
+        """CPU seconds converted to cycles at this platform's frequency."""
+        return cpu_seconds * self.cpu_freq_ghz * 1e9
+
+
+DESKTOP = Platform(
+    key="desktop",
+    name="Desktop",
+    cpu_description="Intel Xeon E-2236 (6C12T)",
+    gpu_description="NVIDIA RTX 2080 (discrete)",
+    cpu_cores=6,
+    cpu_freq_ghz=3.4,
+    gpu_concurrency=2,
+    gpu_priority_contexts=True,
+    cpu_scale=1.0,
+    gpu_scale=1.0,
+    approximates="tethered systems (e.g. Varjo VR-3 host)",
+)
+
+JETSON_HP = Platform(
+    key="jetson-hp",
+    name="Jetson-HP",
+    cpu_description="Arm Carmel (8C8T), max clocks, 10 W mode",
+    gpu_description="NVIDIA Volta (integrated)",
+    cpu_cores=8,
+    cpu_freq_ghz=2.2,
+    gpu_concurrency=1,
+    gpu_priority_contexts=False,
+    cpu_scale=2.9,
+    gpu_scale=3.1,
+    approximates="Magic Leap One / HoloLens 2 class devices",
+)
+
+JETSON_LP = Platform(
+    key="jetson-lp",
+    name="Jetson-LP",
+    cpu_description="Arm Carmel (8C8T), half clocks, 10 W mode",
+    gpu_description="NVIDIA Volta (integrated, half clocks)",
+    cpu_cores=8,
+    cpu_freq_ghz=1.1,
+    gpu_concurrency=1,
+    gpu_priority_contexts=False,
+    cpu_scale=4.7,
+    gpu_scale=5.6,
+    approximates="Snapdragon 835 / Oculus Quest class devices",
+)
+
+PLATFORMS: Dict[str, Platform] = {
+    p.key: p for p in (DESKTOP, JETSON_HP, JETSON_LP)
+}
+
+
+def platform_by_key(key: str) -> Platform:
+    """Look up a platform by its key ('desktop', 'jetson-hp', 'jetson-lp')."""
+    try:
+        return PLATFORMS[key]
+    except KeyError:
+        raise KeyError(f"unknown platform {key!r}; options: {sorted(PLATFORMS)}") from None
+
+
+# Table I of the paper: ideal requirements vs state-of-the-art devices.
+@dataclass(frozen=True)
+class DeviceRequirements:
+    """One column of Table I."""
+
+    device: str
+    resolution_mpixels: float
+    field_of_view_deg: Tuple[float, float]
+    refresh_rate_hz: Tuple[float, float]
+    motion_to_photon_ms: float
+    power_w: Tuple[float, float]
+    silicon_area_mm2: Tuple[float, float]
+    weight_grams: Tuple[float, float]
+
+
+TABLE_I_REQUIREMENTS: Tuple[DeviceRequirements, ...] = (
+    DeviceRequirements("Varjo VR-3", 15.7, (115, 115), (90, 90), 20.0, (float("nan"), float("nan")), (float("nan"), float("nan")), (944, 944)),
+    DeviceRequirements("Ideal VR", 200.0, (165, 175), (90, 144), 20.0, (1.0, 2.0), (100, 200), (100, 200)),
+    DeviceRequirements("HoloLens 2", 4.4, (52, 52), (120, 120), 9.0, (7.0, 7.0), (173, 173), (566, 566)),
+    DeviceRequirements("Ideal AR", 200.0, (165, 175), (90, 144), 5.0, (0.1, 0.2), (50, 100), (10, 50)),
+)
+
+# Target MTP budgets (Table I): 20 ms for VR, 5 ms for AR.
+TARGET_MTP_VR_MS = 20.0
+TARGET_MTP_AR_MS = 5.0

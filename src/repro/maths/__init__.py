@@ -1,0 +1,40 @@
+"""Geometry and numerics shared across the testbed.
+
+- :mod:`repro.maths.quaternion` -- Hamilton quaternion algebra (w, x, y, z).
+- :mod:`repro.maths.se3` -- SO(3)/SE(3) utilities (skew, exp/log maps, poses).
+- :mod:`repro.maths.splines` -- C2 trajectory interpolation with analytic
+  derivatives (the basis of IMU synthesis).
+"""
+
+from repro.maths.quaternion import (
+    quat_conjugate,
+    quat_exp,
+    quat_from_axis_angle,
+    quat_identity,
+    quat_log,
+    quat_multiply,
+    quat_normalize,
+    quat_rotate,
+    quat_slerp,
+    quat_to_matrix,
+    matrix_to_quat,
+)
+from repro.maths.se3 import Pose, skew, so3_exp, so3_log
+
+__all__ = [
+    "Pose",
+    "matrix_to_quat",
+    "quat_conjugate",
+    "quat_exp",
+    "quat_from_axis_angle",
+    "quat_identity",
+    "quat_log",
+    "quat_multiply",
+    "quat_normalize",
+    "quat_rotate",
+    "quat_slerp",
+    "quat_to_matrix",
+    "skew",
+    "so3_exp",
+    "so3_log",
+]

@@ -1,0 +1,105 @@
+"""C2 trajectory interpolation with analytic derivatives.
+
+The sensor substrate needs a ground-truth trajectory that is twice
+continuously differentiable (so the synthesized IMU sees no acceleration
+jumps) with closed-form linear acceleration and body angular velocity.
+Positions use per-axis cubic splines; orientation uses per-angle cubic
+splines on ZYX Euler angles (yaw, pitch, roll), whose rates map analytically
+to body angular velocity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.interpolate import CubicSpline
+
+from repro.maths.quaternion import quat_from_axis_angle, quat_multiply
+
+
+def euler_zyx_to_quat(yaw: float, pitch: float, roll: float) -> np.ndarray:
+    """ZYX Euler angles to unit quaternion (body-to-world)."""
+    qz = quat_from_axis_angle(np.array([0.0, 0.0, 1.0]), yaw)
+    qy = quat_from_axis_angle(np.array([0.0, 1.0, 0.0]), pitch)
+    qx = quat_from_axis_angle(np.array([1.0, 0.0, 0.0]), roll)
+    return quat_multiply(quat_multiply(qz, qy), qx)
+
+
+def euler_rates_to_body_omega(
+    yaw: float, pitch: float, roll: float,
+    yaw_rate: float, pitch_rate: float, roll_rate: float,
+) -> np.ndarray:
+    """ZYX Euler angle rates to body-frame angular velocity.
+
+    Standard kinematic relation for the ZYX (yaw-pitch-roll) convention.
+    """
+    sin_r, cos_r = np.sin(roll), np.cos(roll)
+    sin_p, cos_p = np.sin(pitch), np.cos(pitch)
+    return np.array(
+        [
+            roll_rate - yaw_rate * sin_p,
+            pitch_rate * cos_r + yaw_rate * cos_p * sin_r,
+            -pitch_rate * sin_r + yaw_rate * cos_p * cos_r,
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class SplineSample:
+    """Ground-truth kinematics at one instant."""
+
+    position: np.ndarray          # world frame (m)
+    velocity: np.ndarray          # world frame (m/s)
+    acceleration: np.ndarray      # world frame (m/s^2), gravity NOT included
+    orientation: np.ndarray       # unit quaternion, body-to-world
+    omega_body: np.ndarray        # body frame angular velocity (rad/s)
+
+
+class TrajectorySpline:
+    """Cubic-spline trajectory through position and Euler-angle waypoints.
+
+    ``times`` must be strictly increasing; positions are (N, 3); eulers are
+    (N, 3) as (yaw, pitch, roll) in radians.  Natural boundary conditions
+    keep accelerations finite at the ends.
+    """
+
+    def __init__(self, times: np.ndarray, positions: np.ndarray, eulers: np.ndarray) -> None:
+        times = np.asarray(times, dtype=float)
+        positions = np.asarray(positions, dtype=float)
+        eulers = np.asarray(eulers, dtype=float)
+        if times.ndim != 1 or len(times) < 4:
+            raise ValueError("need at least 4 waypoints")
+        if np.any(np.diff(times) <= 0):
+            raise ValueError("waypoint times must be strictly increasing")
+        if positions.shape != (len(times), 3) or eulers.shape != (len(times), 3):
+            raise ValueError("positions and eulers must be (N, 3)")
+        if np.max(np.abs(eulers[:, 1])) > np.pi / 2 - 0.05:
+            raise ValueError("pitch waypoints too close to gimbal lock (+-pi/2)")
+        self.t_start = float(times[0])
+        self.t_end = float(times[-1])
+        self._pos = CubicSpline(times, positions, bc_type="natural")
+        self._vel = self._pos.derivative(1)
+        self._acc = self._pos.derivative(2)
+        self._euler = CubicSpline(times, eulers, bc_type="natural")
+        self._euler_rate = self._euler.derivative(1)
+
+    def sample(self, t: float) -> SplineSample:
+        """Ground-truth kinematics at time ``t`` (clamped to the domain)."""
+        t = float(np.clip(t, self.t_start, self.t_end))
+        yaw, pitch, roll = self._euler(t)
+        yaw_rate, pitch_rate, roll_rate = self._euler_rate(t)
+        return SplineSample(
+            position=np.asarray(self._pos(t), dtype=float),
+            velocity=np.asarray(self._vel(t), dtype=float),
+            acceleration=np.asarray(self._acc(t), dtype=float),
+            orientation=euler_zyx_to_quat(yaw, pitch, roll),
+            omega_body=euler_rates_to_body_omega(
+                yaw, pitch, roll, yaw_rate, pitch_rate, roll_rate
+            ),
+        )
+
+    @property
+    def duration(self) -> float:
+        """Length of the trajectory's time domain (seconds)."""
+        return self.t_end - self.t_start

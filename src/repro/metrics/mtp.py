@@ -1,0 +1,74 @@
+"""Motion-to-photon latency (§III-E of the paper).
+
+    latency = t_imu_age + t_reprojection + t_swap
+
+computed by the reprojection component every time it runs: the age of the
+IMU sample behind the pose it used, plus its own execution time, plus the
+wait until the frame buffer is accepted for display (vsync).  ``t_display``
+is excluded, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class MtpSample:
+    """One reprojected frame's latency decomposition (seconds)."""
+
+    frame_time: float       # when the frame was submitted for display
+    imu_age: float          # age of the pose's IMU sample at warp start
+    reprojection_time: float
+    swap_wait: float        # wait until the buffer was accepted (vsync)
+
+    def __post_init__(self) -> None:
+        if self.imu_age < 0 or self.reprojection_time < 0 or self.swap_wait < 0:
+            raise ValueError("MTP components must be non-negative")
+
+    @property
+    def total(self) -> float:
+        """Total motion-to-photon latency (seconds)."""
+        return self.imu_age + self.reprojection_time + self.swap_wait
+
+    @property
+    def total_ms(self) -> float:
+        """Total MTP in milliseconds."""
+        return self.total * 1e3
+
+
+@dataclass(frozen=True)
+class MtpSummary:
+    """Mean/std/percentile summary over a run (Table IV rows)."""
+
+    mean_ms: float
+    std_ms: float
+    p99_ms: float
+    max_ms: float
+    count: int
+    vr_target_met_fraction: float   # frames within the 20 ms VR target
+    ar_target_met_fraction: float   # frames within the 5 ms AR target
+
+
+def summarize_mtp(
+    samples: Sequence[MtpSample], vr_target_ms: float = 20.0, ar_target_ms: float = 5.0
+) -> MtpSummary:
+    """Aggregate per-frame MTP samples into a Table IV style summary."""
+    if not samples:
+        return MtpSummary(math.nan, math.nan, math.nan, math.nan, 0, 0.0, 0.0)
+    totals: List[float] = sorted(s.total_ms for s in samples)
+    n = len(totals)
+    mean = sum(totals) / n
+    std = math.sqrt(sum((t - mean) ** 2 for t in totals) / n)
+    p99 = totals[min(int(0.99 * n), n - 1)]
+    return MtpSummary(
+        mean_ms=mean,
+        std_ms=std,
+        p99_ms=p99,
+        max_ms=totals[-1],
+        count=n,
+        vr_target_met_fraction=sum(t <= vr_target_ms for t in totals) / n,
+        ar_target_met_fraction=sum(t <= ar_target_ms for t in totals) / n,
+    )

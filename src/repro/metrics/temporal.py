@@ -1,0 +1,119 @@
+"""Temporal quality metrics: smoothness and jitter (§II-C of the paper).
+
+"Both SSIM and FLIP are image metrics, whereas the final output of the
+visual pipeline is a video, requiring consideration of aspects such as
+temporal coherence and smoothness (jitter) as well."
+
+These metrics operate on a run's display events and MTP samples:
+
+- **frame-interval jitter**: deviation of display intervals from the
+  vsync period (missed vsyncs show up directly);
+- **pose jerk**: second difference of the displayed pose stream -- the
+  judder the paper observed visually on Jetson-HP ("perceptibly increased
+  judder for Sponza");
+- **MTP variability**: coefficient of variation of the per-frame latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.mtp import MtpSample
+
+
+@dataclass(frozen=True)
+class TemporalQuality:
+    """Smoothness summary for one run."""
+
+    frame_interval_mean_ms: float
+    frame_interval_jitter_ms: float    # std of display intervals
+    dropped_vsync_fraction: float      # intervals spanning >1 vsync
+    pose_jerk_rad_s2: float            # RMS angular jerk of displayed poses
+    mtp_cov: float                     # std/mean of per-frame MTP
+
+
+def temporal_quality(
+    display_events: Sequence,
+    mtp_samples: Sequence[MtpSample],
+    vsync_period_s: float,
+) -> TemporalQuality:
+    """Compute the smoothness summary from a run's visual outputs."""
+    if vsync_period_s <= 0:
+        raise ValueError("vsync period must be positive")
+    if len(display_events) < 3:
+        raise ValueError("need at least 3 display events")
+    times = np.array([e.submit_time for e in display_events])
+    intervals = np.diff(times)
+    dropped = float(np.mean(intervals > 1.5 * vsync_period_s))
+
+    # Angular jerk of the displayed pose stream (judder proxy).
+    from repro.maths.quaternion import quat_conjugate, quat_log, quat_multiply
+
+    omegas = []
+    for a, b, dt in zip(display_events[:-1], display_events[1:], intervals):
+        if dt <= 0:
+            continue
+        delta = quat_multiply(
+            quat_conjugate(a.warp_pose.orientation), b.warp_pose.orientation
+        )
+        omegas.append(quat_log(delta) / dt)
+    omegas = np.asarray(omegas)
+    if len(omegas) >= 2:
+        mid_dt = (intervals[:-1] + intervals[1:]) / 2
+        jerk = np.linalg.norm(np.diff(omegas, axis=0), axis=1) / np.maximum(mid_dt, 1e-9)
+        pose_jerk = float(np.sqrt(np.mean(jerk**2)))
+    else:
+        pose_jerk = 0.0
+
+    totals = np.array([s.total for s in mtp_samples]) if mtp_samples else np.array([0.0])
+    mtp_cov = float(np.std(totals) / np.mean(totals)) if totals.mean() > 0 else 0.0
+    return TemporalQuality(
+        frame_interval_mean_ms=float(intervals.mean() * 1e3),
+        frame_interval_jitter_ms=float(intervals.std() * 1e3),
+        dropped_vsync_fraction=dropped,
+        pose_jerk_rad_s2=pose_jerk,
+        mtp_cov=mtp_cov,
+    )
+
+
+def audio_spatial_similarity(
+    reference: np.ndarray, test: np.ndarray, sample_rate_hz: int = 48000
+) -> float:
+    """A simple binaural-similarity score in [0, 1] (AMBIQUAL-inspired).
+
+    §II-C: "we do not yet compute a quality metric for audio beyond
+    bitrate, but plan to add the recently developed AMBIQUAL."  This is a
+    lightweight stand-in for comparing two binaural renders of the same
+    content: per-ear spectral magnitude correlation combined with
+    interaural-level-difference agreement over short windows.
+    """
+    reference = np.asarray(reference, dtype=float)
+    test = np.asarray(test, dtype=float)
+    if reference.shape != test.shape or reference.ndim != 2 or reference.shape[0] != 2:
+        raise ValueError("expected matching (2, samples) stereo arrays")
+    window = max(256, sample_rate_hz // 50)
+    n_windows = reference.shape[1] // window
+    if n_windows < 1:
+        raise ValueError("signals too short for one analysis window")
+    spectral_scores = []
+    ild_ref, ild_test = [], []
+    for w in range(n_windows):
+        seg = slice(w * window, (w + 1) * window)
+        for ear in range(2):
+            a = np.abs(np.fft.rfft(reference[ear, seg]))
+            b = np.abs(np.fft.rfft(test[ear, seg]))
+            denominator = np.linalg.norm(a) * np.linalg.norm(b)
+            if denominator > 1e-12:
+                spectral_scores.append(float(a @ b / denominator))
+        def ild(x):
+            rms = np.sqrt((x[:, seg] ** 2).mean(axis=1)) + 1e-12
+            return np.log10(rms[0] / rms[1])
+        ild_ref.append(ild(reference))
+        ild_test.append(ild(test))
+    spectral = float(np.mean(spectral_scores)) if spectral_scores else 0.0
+    ild_error = float(np.mean(np.abs(np.array(ild_ref) - np.array(ild_test))))
+    ild_score = float(np.exp(-2.0 * ild_error))
+    return float(np.clip(0.7 * spectral + 0.3 * ild_score, 0.0, 1.0))

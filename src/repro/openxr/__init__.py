@@ -1,0 +1,11 @@
+"""A minimal OpenXR-style application interface.
+
+ILLIXR is exposed to applications through Monado's OpenXR implementation;
+game engines call ``xrWaitFrame``/``xrLocateViews``/``xrEndFrame``.  This
+package provides the same control flow over our runtime so example
+applications are written the way an OpenXR client would be.
+"""
+
+from repro.openxr.api import FrameState, Instance, Session, ViewLocation
+
+__all__ = ["FrameState", "Instance", "Session", "ViewLocation"]

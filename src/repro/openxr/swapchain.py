@@ -1,0 +1,115 @@
+"""OpenXR-style swapchain: the image ring between app and compositor.
+
+Real OpenXR applications render into swapchain images acquired from the
+runtime (``xrAcquireSwapchainImage`` / ``xrWaitSwapchainImage`` /
+``xrReleaseSwapchainImage``); the compositor samples released images.
+This implements those semantics over numpy buffers with the conformance
+rules that matter: images cycle in order, an image cannot be acquired
+twice before release, and wait-before-write is enforced.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.openxr.api import XrError
+
+
+@dataclass
+class SwapchainImage:
+    """One image in the ring."""
+
+    index: int
+    buffer: np.ndarray
+    acquired: bool = False
+    waited: bool = False
+
+
+@dataclass
+class Swapchain:
+    """A fixed-size ring of render targets.
+
+    ``capacity`` of 3 matches typical runtimes (triple buffering).
+    """
+
+    width: int
+    height: int
+    capacity: int = 3
+    channels: int = 3
+    images: List[SwapchainImage] = field(init=False)
+    _free: Deque[int] = field(init=False)
+    _released: Deque[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise XrError("swapchain dimensions must be positive")
+        if self.capacity < 2:
+            raise XrError("swapchain needs at least 2 images")
+        self.images = [
+            SwapchainImage(index=i, buffer=np.zeros((self.height, self.width, self.channels)))
+            for i in range(self.capacity)
+        ]
+        self._free = deque(range(self.capacity))
+        self._released = deque()
+
+    # ------------------------------------------------------------------
+    # Application side
+    # ------------------------------------------------------------------
+
+    def acquire_image(self) -> int:
+        """xrAcquireSwapchainImage: returns the next image index."""
+        if not self._free:
+            raise XrError("no swapchain image available (all acquired/queued)")
+        index = self._free.popleft()
+        image = self.images[index]
+        image.acquired = True
+        image.waited = False
+        return index
+
+    def wait_image(self, index: int) -> SwapchainImage:
+        """xrWaitSwapchainImage: the image is now safe to write."""
+        image = self._checked(index)
+        if not image.acquired:
+            raise XrError(f"image {index} was not acquired")
+        image.waited = True
+        return image
+
+    def release_image(self, index: int) -> None:
+        """xrReleaseSwapchainImage: hand the image to the compositor."""
+        image = self._checked(index)
+        if not image.acquired:
+            raise XrError(f"image {index} was not acquired")
+        if not image.waited:
+            raise XrError(f"image {index} released without wait (write hazard)")
+        image.acquired = False
+        image.waited = False
+        self._released.append(index)
+
+    # ------------------------------------------------------------------
+    # Compositor side
+    # ------------------------------------------------------------------
+
+    def latest_released(self) -> Optional[SwapchainImage]:
+        """The most recently released image (what the compositor samples);
+        older released images return to the free ring."""
+        if not self._released:
+            return None
+        while len(self._released) > 1:
+            self._free.append(self._released.popleft())
+        return self.images[self._released[-1]]
+
+    def recycle(self) -> None:
+        """Return the sampled image to the free ring (after compositing)."""
+        if self._released:
+            self._free.append(self._released.popleft())
+
+    # ------------------------------------------------------------------
+
+    def _checked(self, index: int) -> SwapchainImage:
+        if not 0 <= index < self.capacity:
+            raise XrError(f"bad swapchain image index {index}")
+        return self.images[index]

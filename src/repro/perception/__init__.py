@@ -1,0 +1,25 @@
+"""Perception pipeline components.
+
+Translates the user's physical motion into poses and models of the world
+(§II-A of the paper):
+
+- :mod:`repro.perception.vio` -- MSCKF visual-inertial odometry
+  (the OpenVINS stand-in): low-frequency, precise head poses;
+- :mod:`repro.perception.integrator` -- RK4 IMU integration: high-frequency
+  pose estimates between VIO updates;
+- :mod:`repro.perception.eye_tracking` -- CNN pupil segmentation
+  (the RITnet stand-in);
+- :mod:`repro.perception.reconstruction` -- TSDF dense scene reconstruction
+  (the ElasticFusion/KinectFusion stand-in).
+"""
+
+from repro.perception.integrator import IntegratorState, Rk4Integrator
+from repro.perception.vio.msckf import Msckf, MsckfConfig, VioEstimate
+
+__all__ = [
+    "IntegratorState",
+    "Msckf",
+    "MsckfConfig",
+    "Rk4Integrator",
+    "VioEstimate",
+]

@@ -1,0 +1,149 @@
+"""RK4 IMU integrator: the high-rate half of the perception pipeline.
+
+VIO produces precise poses at camera rate (15 Hz); the integrator propagates
+the most recent VIO state through every IMU sample (500 Hz) so the visual
+pipeline always has a fresh pose (Fig. 2 of the paper: the integrator has a
+synchronous dependence on the IMU and an asynchronous one on VIO).
+
+This is the RK4 scheme of OpenVINS' propagator: zero-order hold on the
+angular velocity and specific force over each sample interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.maths.quaternion import quat_multiply, quat_normalize, quat_rotate
+from repro.maths.se3 import Pose
+from repro.sensors.imu import GRAVITY_W, ImuSample
+
+
+@dataclass(frozen=True)
+class IntegratorState:
+    """Full kinematic state the integrator carries between samples."""
+
+    timestamp: float
+    orientation: np.ndarray              # unit quaternion, body-to-world
+    position: np.ndarray                 # world (m)
+    velocity: np.ndarray                 # world (m/s)
+    gyro_bias: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    accel_bias: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def pose(self) -> Pose:
+        """The pose portion of the state."""
+        return Pose(self.position, self.orientation, timestamp=self.timestamp)
+
+
+def _quat_derivative(q: np.ndarray, omega: np.ndarray) -> np.ndarray:
+    """dq/dt = 0.5 * q  (x)  [0, omega]."""
+    return 0.5 * quat_multiply(q, np.concatenate(([0.0], omega)))
+
+
+class Rk4Integrator:
+    """Integrates IMU samples forward from the latest VIO anchor."""
+
+    def __init__(self, state: IntegratorState) -> None:
+        self.state = state
+
+    def reset(self, state: IntegratorState) -> None:
+        """Re-anchor on a fresh VIO estimate.
+
+        The integrator keeps its own propagated time: if the VIO estimate is
+        *older* than the current state (VIO latency), the caller should
+        re-propagate cached IMU samples after resetting.
+        """
+        self.state = state
+
+    def step(self, sample: ImuSample) -> IntegratorState:
+        """Advance the state to ``sample.timestamp`` using RK4."""
+        dt = sample.timestamp - self.state.timestamp
+        if dt < 0:
+            raise ValueError(
+                f"IMU sample is older than state: {sample.timestamp} < {self.state.timestamp}"
+            )
+        if dt == 0.0:
+            return self.state
+        omega = sample.gyro - self.state.gyro_bias
+        accel = sample.accel - self.state.accel_bias
+        q0 = self.state.orientation
+        p0 = self.state.position
+        v0 = self.state.velocity
+
+        def accel_world(q: np.ndarray) -> np.ndarray:
+            return quat_rotate(quat_normalize(q), accel) + GRAVITY_W
+
+        # RK4 with zero-order hold on omega and accel.
+        k1_q = _quat_derivative(q0, omega)
+        k1_v = accel_world(q0)
+        k1_p = v0
+
+        q_half_1 = q0 + 0.5 * dt * k1_q
+        k2_q = _quat_derivative(q_half_1, omega)
+        k2_v = accel_world(q_half_1)
+        k2_p = v0 + 0.5 * dt * k1_v
+
+        q_half_2 = q0 + 0.5 * dt * k2_q
+        k3_q = _quat_derivative(q_half_2, omega)
+        k3_v = accel_world(q_half_2)
+        k3_p = v0 + 0.5 * dt * k2_v
+
+        q_full = q0 + dt * k3_q
+        k4_q = _quat_derivative(q_full, omega)
+        k4_v = accel_world(q_full)
+        k4_p = v0 + dt * k3_v
+
+        q_new = quat_normalize(q0 + dt / 6.0 * (k1_q + 2 * k2_q + 2 * k3_q + k4_q))
+        v_new = v0 + dt / 6.0 * (k1_v + 2 * k2_v + 2 * k3_v + k4_v)
+        p_new = p0 + dt / 6.0 * (k1_p + 2 * k2_p + 2 * k3_p + k4_p)
+        self.state = replace(
+            self.state,
+            timestamp=sample.timestamp,
+            orientation=q_new,
+            position=p_new,
+            velocity=v_new,
+        )
+        return self.state
+
+
+class ComplementaryIntegrator:
+    """Alternative implementation (the GTSAM slot of Table II).
+
+    A first-order (Euler) integrator with an exponential-map attitude
+    update.  Cheaper and less accurate than RK4; exists to demonstrate the
+    runtime's interchangeable-component design.
+    """
+
+    def __init__(self, state: IntegratorState) -> None:
+        self.state = state
+
+    def reset(self, state: IntegratorState) -> None:
+        """Re-anchor on a fresh VIO estimate."""
+        self.state = state
+
+    def step(self, sample: ImuSample) -> IntegratorState:
+        """Advance to ``sample.timestamp`` with a first-order update."""
+        from repro.maths.quaternion import quat_exp
+
+        dt = sample.timestamp - self.state.timestamp
+        if dt < 0:
+            raise ValueError("IMU sample is older than state")
+        if dt == 0.0:
+            return self.state
+        omega = sample.gyro - self.state.gyro_bias
+        accel = sample.accel - self.state.accel_bias
+        q_new = quat_normalize(
+            quat_multiply(self.state.orientation, quat_exp(omega * dt))
+        )
+        accel_w = quat_rotate(self.state.orientation, accel) + GRAVITY_W
+        v_new = self.state.velocity + accel_w * dt
+        p_new = self.state.position + self.state.velocity * dt + 0.5 * accel_w * dt * dt
+        self.state = replace(
+            self.state,
+            timestamp=sample.timestamp,
+            orientation=q_new,
+            position=p_new,
+            velocity=v_new,
+        )
+        return self.state

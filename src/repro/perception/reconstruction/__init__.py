@@ -1,0 +1,16 @@
+"""Dense scene reconstruction (the ElasticFusion/KinectFusion stand-in).
+
+A volumetric TSDF pipeline with the same stage structure the paper's
+Table VI measures for scene reconstruction:
+
+- **camera processing**: bilateral filtering + invalid-depth rejection;
+- **image processing**: vertex/normal map generation;
+- **pose estimation**: point-to-plane ICP against the model prediction;
+- **surfel prediction**: raycasting the volume from the current pose;
+- **map fusion**: integrating the new depth frame into the TSDF.
+"""
+
+from repro.perception.reconstruction.pipeline import ReconstructionPipeline
+from repro.perception.reconstruction.tsdf import TsdfVolume
+
+__all__ = ["ReconstructionPipeline", "TsdfVolume"]

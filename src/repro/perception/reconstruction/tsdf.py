@@ -1,0 +1,134 @@
+"""Truncated signed distance function (TSDF) volume.
+
+The map representation of KinectFusion: a regular voxel grid storing a
+truncated signed distance to the nearest surface plus an integration
+weight.  Depth frames are fused by projective association: every voxel
+projects into the camera, compares its depth to the measured depth, and
+blends the truncated difference into its stored value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.maths.quaternion import quat_to_matrix
+from repro.maths.se3 import Pose
+from repro.sensors.depth import DepthCamera
+
+
+@dataclass
+class TsdfVolume:
+    """A cubic voxel grid over the reconstruction workspace."""
+
+    resolution: int = 96
+    extent_m: float = 8.0          # cube edge length
+    origin: np.ndarray = field(default_factory=lambda: np.array([-4.0, -4.0, -1.0]))
+    truncation_m: float = 0.15
+    max_weight: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.resolution < 8:
+            raise ValueError(f"resolution too small: {self.resolution}")
+        if self.truncation_m <= 0:
+            raise ValueError("truncation must be positive")
+        n = self.resolution
+        self.voxel_size = self.extent_m / n
+        self.tsdf = np.ones((n, n, n), dtype=np.float32)
+        self.weight = np.zeros((n, n, n), dtype=np.float32)
+        idx = (np.arange(n) + 0.5) * self.voxel_size
+        gx, gy, gz = np.meshgrid(idx, idx, idx, indexing="ij")
+        self._centers = (
+            np.stack([gx, gy, gz], axis=-1).reshape(-1, 3) + self.origin
+        )
+
+    @property
+    def occupied_fraction(self) -> float:
+        """Fraction of voxels that have received any observation."""
+        return float((self.weight > 0).mean())
+
+    def integrate(self, depth: np.ndarray, pose: Pose, camera: DepthCamera) -> int:
+        """Fuse one depth frame taken from ``pose``; returns voxels updated."""
+        r_wb = quat_to_matrix(pose.orientation)
+        r_cw = camera._r_cam_body @ r_wb.T
+        t = -r_cw @ pose.position
+        cam = self._centers @ r_cw.T + t
+        z = cam[:, 2]
+        in_front = z > 1e-3
+        u = np.full(len(z), -1.0)
+        v = np.full(len(z), -1.0)
+        zs = np.where(in_front, z, 1.0)
+        u[in_front] = (camera.fx * cam[in_front, 0] / zs[in_front]) + camera.cx
+        v[in_front] = (camera.fy * cam[in_front, 1] / zs[in_front]) + camera.cy
+        ui = np.round(u).astype(int)
+        vi = np.round(v).astype(int)
+        in_image = (
+            in_front
+            & (ui >= 0)
+            & (ui < camera.width)
+            & (vi >= 0)
+            & (vi < camera.height)
+        )
+        measured = np.zeros(len(z))
+        measured[in_image] = depth[vi[in_image], ui[in_image]]
+        valid = in_image & (measured > 1e-3)
+        sdf = measured - z
+        # Only fuse voxels in front of or just behind the surface.
+        fuse = valid & (sdf > -self.truncation_m)
+        tsdf_new = np.clip(sdf / self.truncation_m, -1.0, 1.0)
+
+        flat_tsdf = self.tsdf.reshape(-1)
+        flat_weight = self.weight.reshape(-1)
+        w_old = flat_weight[fuse]
+        w_new = np.minimum(w_old + 1.0, self.max_weight)
+        flat_tsdf[fuse] = (flat_tsdf[fuse] * w_old + tsdf_new[fuse]) / np.maximum(w_new, 1.0)
+        flat_weight[fuse] = w_new
+        return int(fuse.sum())
+
+    # ------------------------------------------------------------------
+
+    def world_to_voxel(self, points: np.ndarray) -> np.ndarray:
+        """World coordinates -> continuous voxel indices."""
+        return (np.asarray(points, dtype=float) - self.origin) / self.voxel_size - 0.5
+
+    def sample(self, points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Trilinear TSDF interpolation at world ``points`` (N, 3).
+
+        Returns (values, valid) where invalid points (outside the grid or
+        unobserved) carry value 1.0.
+        """
+        n = self.resolution
+        v = self.world_to_voxel(points)
+        v0 = np.floor(v).astype(int)
+        frac = v - v0
+        valid = np.all((v0 >= 0) & (v0 < n - 1), axis=1)
+        v0c = np.clip(v0, 0, n - 2)
+        result = np.zeros(len(v))
+        weight_seen = np.ones(len(v), dtype=bool)
+        for dx in (0, 1):
+            for dy in (0, 1):
+                for dz in (0, 1):
+                    w = (
+                        (frac[:, 0] if dx else 1 - frac[:, 0])
+                        * (frac[:, 1] if dy else 1 - frac[:, 1])
+                        * (frac[:, 2] if dz else 1 - frac[:, 2])
+                    )
+                    ix, iy, iz = v0c[:, 0] + dx, v0c[:, 1] + dy, v0c[:, 2] + dz
+                    result += w * self.tsdf[ix, iy, iz]
+                    weight_seen &= self.weight[ix, iy, iz] > 0
+        valid &= weight_seen
+        return np.where(valid, result, 1.0), valid
+
+    def gradient(self, points: np.ndarray) -> np.ndarray:
+        """Central-difference TSDF gradient (surface normal direction)."""
+        h = self.voxel_size
+        grad = np.zeros((len(points), 3))
+        for axis in range(3):
+            offset = np.zeros(3)
+            offset[axis] = h
+            plus, _ = self.sample(points + offset)
+            minus, _ = self.sample(points - offset)
+            grad[:, axis] = (plus - minus) / (2 * h)
+        return grad

@@ -1,0 +1,21 @@
+"""MSCKF visual-inertial odometry (the OpenVINS stand-in).
+
+A stereo multi-state-constraint Kalman filter with:
+
+- RK4 mean propagation and first-order covariance propagation on the
+  15-dimensional IMU error state;
+- a sliding window of cloned camera poses (stochastic cloning);
+- MSCKF nullspace-projected updates from mature feature tracks;
+- EKF-SLAM landmarks for long-lived features (delayed initialization);
+- chi-squared gating and marginalization of old clones.
+
+The top-level :class:`repro.perception.vio.msckf.Msckf` times each of the
+algorithmic tasks the paper's Table VI names (feature detection, matching,
+initialization, MSCKF update, SLAM update, marginalization) so the task
+breakdown can be measured from this implementation.
+"""
+
+from repro.perception.vio.msckf import Msckf, MsckfConfig, VioEstimate
+from repro.perception.vio.state import VioState
+
+__all__ = ["Msckf", "MsckfConfig", "VioEstimate", "VioState"]

@@ -1,0 +1,179 @@
+"""MSCKF filter state: IMU state + clone window + SLAM landmarks.
+
+Error-state ordering (all errors are minimal local perturbations):
+
+====================  =========  ==========================================
+block                 dimension  meaning
+====================  =========  ==========================================
+theta                 3          attitude error, R = R_hat @ Exp(theta)
+p                     3          position error (world)
+v                     3          velocity error (world)
+bg                    3          gyro bias error
+ba                    3          accel bias error
+clone_i (theta, p)    6 each     sliding-window camera poses
+landmark_j            3 each     EKF-SLAM feature positions (world)
+====================  =========  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.maths.quaternion import quat_exp, quat_multiply, quat_normalize
+from repro.maths.se3 import Pose
+
+IMU_DIM = 15
+CLONE_DIM = 6
+LANDMARK_DIM = 3
+
+
+@dataclass
+class CloneState:
+    """One cloned camera pose in the sliding window."""
+
+    clone_id: int
+    timestamp: float
+    orientation: np.ndarray  # body-to-world quaternion at clone time
+    position: np.ndarray
+
+
+@dataclass
+class VioState:
+    """Mean + covariance of the full filter state."""
+
+    timestamp: float
+    orientation: np.ndarray
+    position: np.ndarray
+    velocity: np.ndarray
+    gyro_bias: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    accel_bias: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    clones: List[CloneState] = field(default_factory=list)
+    landmarks: Dict[int, np.ndarray] = field(default_factory=dict)  # id -> (3,)
+    covariance: np.ndarray = field(
+        default_factory=lambda: np.diag(
+            [1e-4] * 3 + [1e-6] * 3 + [1e-4] * 3 + [1e-6] * 3 + [1e-4] * 3
+        )
+    )
+    _next_clone_id: int = 0
+
+    @property
+    def dim(self) -> int:
+        """Current error-state dimension."""
+        return IMU_DIM + CLONE_DIM * len(self.clones) + LANDMARK_DIM * len(self.landmarks)
+
+    def clone_index(self, clone_id: int) -> int:
+        """Position of a clone in the window (raises if marginalized)."""
+        for i, clone in enumerate(self.clones):
+            if clone.clone_id == clone_id:
+                return i
+        raise KeyError(f"clone {clone_id} not in window")
+
+    def clone_offset(self, clone_id: int) -> int:
+        """Error-state column offset of a clone's block."""
+        return IMU_DIM + CLONE_DIM * self.clone_index(clone_id)
+
+    def landmark_offset(self, feature_id: int) -> int:
+        """Error-state column offset of a landmark's block.
+
+        Landmarks are ordered by insertion (dict order), so a newly
+        appended landmark always occupies the final block.
+        """
+        ids = list(self.landmarks)
+        try:
+            k = ids.index(feature_id)
+        except ValueError:
+            raise KeyError(f"landmark {feature_id} not in state") from None
+        return IMU_DIM + CLONE_DIM * len(self.clones) + LANDMARK_DIM * k
+
+    def landmark_ids(self) -> List[int]:
+        """SLAM landmark ids in state (insertion) order."""
+        return list(self.landmarks)
+
+    def pose(self) -> Pose:
+        """Current IMU pose estimate."""
+        return Pose(self.position, self.orientation, timestamp=self.timestamp)
+
+    # ------------------------------------------------------------------
+    # State-size changes
+    # ------------------------------------------------------------------
+
+    def augment_clone(self) -> CloneState:
+        """Stochastic cloning: append the current pose to the window."""
+        clone = CloneState(
+            clone_id=self._next_clone_id,
+            timestamp=self.timestamp,
+            orientation=self.orientation.copy(),
+            position=self.position.copy(),
+        )
+        self._next_clone_id += 1
+        # Insert rows/cols before the landmark block.
+        insert_at = IMU_DIM + CLONE_DIM * len(self.clones)
+        old_dim = self.dim
+        jacobian = np.zeros((CLONE_DIM, old_dim))
+        jacobian[0:3, 0:3] = np.eye(3)   # clone theta copies IMU theta
+        jacobian[3:6, 3:6] = np.eye(3)   # clone p copies IMU p
+        new_dim = old_dim + CLONE_DIM
+        cov = np.zeros((new_dim, new_dim))
+        # Build index mapping: old indices, with the clone block spliced in.
+        old_to_new = list(range(insert_at)) + list(range(insert_at + CLONE_DIM, new_dim))
+        cov[np.ix_(old_to_new, old_to_new)] = self.covariance
+        cross = jacobian @ self.covariance
+        cov[insert_at : insert_at + CLONE_DIM, old_to_new] = cross
+        cov[old_to_new, insert_at : insert_at + CLONE_DIM] = cross.T
+        cov[insert_at : insert_at + CLONE_DIM, insert_at : insert_at + CLONE_DIM] = (
+            jacobian @ self.covariance @ jacobian.T
+        )
+        self.covariance = cov
+        self.clones.append(clone)
+        return clone
+
+    def marginalize_clone(self, clone_id: int) -> None:
+        """Drop a clone: delete its rows/columns from the covariance."""
+        index = self.clone_index(clone_id)
+        offset = IMU_DIM + CLONE_DIM * index
+        keep = [i for i in range(self.dim) if not offset <= i < offset + CLONE_DIM]
+        self.covariance = self.covariance[np.ix_(keep, keep)]
+        del self.clones[index]
+
+    def remove_landmark(self, feature_id: int) -> None:
+        """Drop a SLAM landmark from the state."""
+        offset = self.landmark_offset(feature_id)
+        keep = [i for i in range(self.dim) if not offset <= i < offset + LANDMARK_DIM]
+        self.covariance = self.covariance[np.ix_(keep, keep)]
+        del self.landmarks[feature_id]
+
+    # ------------------------------------------------------------------
+    # Error injection
+    # ------------------------------------------------------------------
+
+    def inject(self, delta: np.ndarray) -> None:
+        """Apply an error-state correction to the mean."""
+        delta = np.asarray(delta, dtype=float)
+        if delta.shape != (self.dim,):
+            raise ValueError(f"delta has wrong shape {delta.shape}, expected ({self.dim},)")
+        self.orientation = quat_normalize(
+            quat_multiply(self.orientation, quat_exp(delta[0:3]))
+        )
+        self.position = self.position + delta[3:6]
+        self.velocity = self.velocity + delta[6:9]
+        self.gyro_bias = self.gyro_bias + delta[9:12]
+        self.accel_bias = self.accel_bias + delta[12:15]
+        for i, clone in enumerate(self.clones):
+            offset = IMU_DIM + CLONE_DIM * i
+            clone.orientation = quat_normalize(
+                quat_multiply(clone.orientation, quat_exp(delta[offset : offset + 3]))
+            )
+            clone.position = clone.position + delta[offset + 3 : offset + 6]
+        base = IMU_DIM + CLONE_DIM * len(self.clones)
+        for k, feature_id in enumerate(self.landmark_ids()):
+            offset = base + LANDMARK_DIM * k
+            self.landmarks[feature_id] = (
+                self.landmarks[feature_id] + delta[offset : offset + 3]
+            )
+
+    def symmetrize(self) -> None:
+        """Enforce covariance symmetry (numerical hygiene after updates)."""
+        self.covariance = 0.5 * (self.covariance + self.covariance.T)

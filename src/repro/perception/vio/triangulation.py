@@ -1,0 +1,134 @@
+"""Feature triangulation: linear initialization + Gauss-Newton refinement.
+
+Given a feature's stereo observations from several cloned camera poses,
+recover its world position.  The linear stage intersects back-projected
+rays in a least-squares sense; Gauss-Newton then minimizes stereo
+reprojection error (the SVD / Gauss-Newton / Jacobian work the paper's
+Table VI attributes to *feature initialization*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.maths.quaternion import quat_to_matrix
+from repro.sensors.camera import CameraIntrinsics
+
+
+@dataclass(frozen=True)
+class CloneObservation:
+    """One stereo observation of a feature from one cloned pose."""
+
+    orientation: np.ndarray  # clone body-to-world quaternion
+    position: np.ndarray     # clone position (world)
+    uv_left: np.ndarray      # (2,) pixels
+    uv_right: np.ndarray     # (2,) pixels
+
+
+@dataclass(frozen=True)
+class TriangulationResult:
+    """A triangulated feature position and its fit quality."""
+
+    position: np.ndarray        # world (3,)
+    mean_reprojection_px: float
+    converged: bool
+    jtj: np.ndarray             # Gauss-Newton normal matrix (3, 3)
+
+
+def _camera_pose(
+    orientation: np.ndarray, position: np.ndarray, r_cam_body: np.ndarray, eye_offset: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(R_cw, t) such that p_cam = R_cw @ p_world + t for this eye."""
+    r_wb = quat_to_matrix(orientation)
+    r_cw = r_cam_body @ r_wb.T
+    t = -r_cw @ position
+    t[0] -= eye_offset
+    return r_cw, t
+
+
+def triangulate(
+    observations: List[CloneObservation],
+    intrinsics: CameraIntrinsics,
+    baseline_m: float,
+    r_cam_body: np.ndarray,
+    max_iterations: int = 5,
+    pixel_sigma: float = 1.0,
+) -> Optional[TriangulationResult]:
+    """Triangulate from >=1 stereo observation; None if degenerate."""
+    if not observations:
+        return None
+    rows_a: List[np.ndarray] = []
+    rows_b: List[float] = []
+    cams: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for obs in observations:
+        for eye_offset, uv in ((0.0, obs.uv_left), (baseline_m, obs.uv_right)):
+            r_cw, t = _camera_pose(obs.orientation, obs.position, r_cam_body, eye_offset)
+            x = (uv[0] - intrinsics.cx) / intrinsics.fx
+            y = (uv[1] - intrinsics.cy) / intrinsics.fy
+            # Linear DLT rows: x * (r3 p + t3) = r1 p + t1, etc.
+            rows_a.append(x * r_cw[2] - r_cw[0])
+            rows_b.append(t[0] - x * t[2])
+            rows_a.append(y * r_cw[2] - r_cw[1])
+            rows_b.append(t[1] - y * t[2])
+            cams.append((r_cw, t, np.asarray(uv, dtype=float)))
+    a = np.vstack(rows_a)
+    b = np.asarray(rows_b)
+    solution, _residuals, rank, _sv = np.linalg.lstsq(a, b, rcond=None)
+    if rank < 3:
+        return None
+    point = solution
+
+    # Gauss-Newton refinement on reprojection error.
+    converged = False
+    jtj = np.eye(3)
+    for _ in range(max_iterations):
+        residuals = []
+        jacobians = []
+        for r_cw, t, uv in cams:
+            p_cam = r_cw @ point + t
+            if p_cam[2] < 0.05:
+                return None
+            z = p_cam[2]
+            u_hat = intrinsics.fx * p_cam[0] / z + intrinsics.cx
+            v_hat = intrinsics.fy * p_cam[1] / z + intrinsics.cy
+            residuals.append([uv[0] - u_hat, uv[1] - v_hat])
+            j_proj = np.array(
+                [
+                    [intrinsics.fx / z, 0.0, -intrinsics.fx * p_cam[0] / z**2],
+                    [0.0, intrinsics.fy / z, -intrinsics.fy * p_cam[1] / z**2],
+                ]
+            )
+            jacobians.append(j_proj @ r_cw)
+        r = np.concatenate(residuals)
+        j = np.vstack(jacobians)
+        jtj = j.T @ j
+        try:
+            delta = np.linalg.solve(jtj + 1e-9 * np.eye(3), j.T @ r)
+        except np.linalg.LinAlgError:
+            return None
+        point = point + delta
+        if np.linalg.norm(delta) < 1e-6:
+            converged = True
+            break
+
+    # Final reprojection error.
+    errors = []
+    for r_cw, t, uv in cams:
+        p_cam = r_cw @ point + t
+        if p_cam[2] < 0.05:
+            return None
+        u_hat = intrinsics.fx * p_cam[0] / p_cam[2] + intrinsics.cx
+        v_hat = intrinsics.fy * p_cam[1] / p_cam[2] + intrinsics.cy
+        errors.append(np.hypot(uv[0] - u_hat, uv[1] - v_hat))
+    mean_error = float(np.mean(errors))
+    if not np.all(np.isfinite(point)):
+        return None
+    return TriangulationResult(
+        position=point,
+        mean_reprojection_px=mean_error,
+        converged=converged,
+        jtj=jtj / max(pixel_sigma**2, 1e-12),
+    )

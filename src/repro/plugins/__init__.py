@@ -1,0 +1,34 @@
+"""ILLIXR plugins: components wired into the runtime via event streams.
+
+Topic map (the arrows of Fig. 2):
+
+======================  =============================  =====================
+topic                   payload                        producer -> consumers
+======================  =============================  =====================
+``camera``              CameraFrame                    camera -> VIO (sync)
+``imu``                 ImuSample                      imu -> integrator (sync)
+``slow_pose``           VioEstimate                    VIO -> integrator (async)
+``fast_pose``           Pose (data_time = IMU stamp)   integrator -> app, timewarp, audio (async)
+``frame``               SubmittedFrame                 application -> timewarp (async)
+``display``             DisplayEvent                   timewarp -> offline QoE
+``soundfield``          (channels, block) ndarray      audio encoder -> playback (async)
+``binaural``            BinauralBlock                  playback -> (sink)
+======================  =============================  =====================
+"""
+
+from repro.plugins.perception import CameraPlugin, ImuPlugin, IntegratorPlugin, VioPlugin
+from repro.plugins.visual import ApplicationPlugin, DisplayEvent, SubmittedFrame, TimewarpPlugin
+from repro.plugins.audio import AudioEncodingPlugin, AudioPlaybackPlugin
+
+__all__ = [
+    "ApplicationPlugin",
+    "AudioEncodingPlugin",
+    "AudioPlaybackPlugin",
+    "CameraPlugin",
+    "DisplayEvent",
+    "ImuPlugin",
+    "IntegratorPlugin",
+    "SubmittedFrame",
+    "TimewarpPlugin",
+    "VioPlugin",
+]

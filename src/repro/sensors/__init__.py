@@ -1,0 +1,37 @@
+"""Synthetic sensor substrate.
+
+The paper drives ILLIXR live from a ZED Mini camera+IMU carried through a
+lab, and standalone components from off-the-shelf datasets (EuRoC Vicon
+Room 1 Medium, OpenEDS, dyson_lab).  We have no camera, so this package
+synthesizes physically consistent sensor streams from smooth ground-truth
+trajectories:
+
+- :mod:`repro.sensors.trajectory` -- lab-walk / Vicon-room trajectory
+  generators (C2 splines with analytic derivatives);
+- :mod:`repro.sensors.imu` -- IMU synthesis with white noise + bias random
+  walk (the standard EuRoC error model);
+- :mod:`repro.sensors.camera` -- stereo pinhole camera observing a 3-D
+  landmark field, producing noisy feature tracks;
+- :mod:`repro.sensors.depth` -- analytic depth camera for scene
+  reconstruction;
+- :mod:`repro.sensors.eye` -- synthetic eye images for eye tracking;
+- :mod:`repro.sensors.dataset` -- offline record/replay datasets, published
+  to the same streams as live sensors (§II-B of the paper).
+"""
+
+from repro.sensors.camera import CameraFrame, LandmarkField, StereoCamera
+from repro.sensors.dataset import OfflineDataset, make_vicon_room_dataset
+from repro.sensors.imu import ImuModel, ImuSample
+from repro.sensors.trajectory import lab_walk_trajectory, vicon_room_trajectory
+
+__all__ = [
+    "CameraFrame",
+    "ImuModel",
+    "ImuSample",
+    "LandmarkField",
+    "OfflineDataset",
+    "StereoCamera",
+    "lab_walk_trajectory",
+    "make_vicon_room_dataset",
+    "vicon_room_trajectory",
+]

@@ -1,0 +1,83 @@
+"""Synthetic eye images for eye tracking (OpenEDS stand-in).
+
+Generates grayscale near-eye images -- bright sclera, darker iris disc,
+dark pupil ellipse whose position encodes gaze -- together with the
+ground-truth pupil segmentation mask and gaze vector.  The eye-tracking
+component (the RITnet substitute) trains and evaluates against these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EyeSample:
+    """One synthetic eye image with its labels."""
+
+    image: np.ndarray   # (H, W) float32 in [0, 1]
+    mask: np.ndarray    # (H, W) bool, True where the pupil is
+    gaze: np.ndarray    # (2,) normalized gaze offsets in [-1, 1]
+
+
+@dataclass
+class EyeImageGenerator:
+    """Repeatable generator of labelled eye images."""
+
+    width: int = 64
+    height: int = 48
+    seed: int = 0
+    noise_std: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.width < 16 or self.height < 16:
+            raise ValueError("eye images must be at least 16x16")
+        self._rng = np.random.default_rng(self.seed)
+        u, v = np.meshgrid(np.arange(self.width), np.arange(self.height))
+        self._u = u.astype(float)
+        self._v = v.astype(float)
+
+    def sample(self, gaze: Tuple[float, float] | None = None) -> EyeSample:
+        """Render one image; ``gaze`` defaults to a random direction."""
+        if gaze is None:
+            gaze = tuple(self._rng.uniform(-0.8, 0.8, 2))
+        gx, gy = gaze
+        if not (-1.0 <= gx <= 1.0 and -1.0 <= gy <= 1.0):
+            raise ValueError(f"gaze out of [-1,1]^2: {gaze}")
+        cx = self.width / 2 + gx * self.width * 0.22
+        cy = self.height / 2 + gy * self.height * 0.22
+        pupil_r = self._rng.uniform(0.09, 0.14) * self.width
+        iris_r = pupil_r * self._rng.uniform(2.0, 2.6)
+        elongation = self._rng.uniform(0.85, 1.15)
+
+        du = (self._u - cx) / elongation
+        dv = self._v - cy
+        r2 = du * du + dv * dv
+        image = np.full((self.height, self.width), 0.85)  # sclera
+        image[r2 <= iris_r**2] = 0.45                      # iris
+        # Radial iris texture.
+        theta = np.arctan2(dv, du)
+        iris_zone = (r2 <= iris_r**2) & (r2 > pupil_r**2)
+        image[iris_zone] += 0.06 * np.sin(9 * theta[iris_zone])
+        mask = r2 <= pupil_r**2
+        image[mask] = 0.08                                 # pupil
+        # Specular glint near the pupil edge.
+        glint = ((self._u - (cx + pupil_r * 0.6)) ** 2 + (self._v - (cy - pupil_r * 0.6)) ** 2) <= 2.0
+        image[glint] = 1.0
+        # Eyelid shading at the top.
+        image *= 1.0 - 0.35 * np.exp(-self._v / (self.height * 0.18))
+        image = np.clip(image + self._rng.normal(0.0, self.noise_std, image.shape), 0.0, 1.0)
+        return EyeSample(
+            image=image.astype(np.float32),
+            mask=mask & ~glint,
+            gaze=np.array([gx, gy]),
+        )
+
+    def batch(self, n: int) -> list[EyeSample]:
+        """``n`` independent samples."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return [self.sample() for _ in range(n)]

@@ -1,0 +1,88 @@
+"""Ground-truth trajectory generators.
+
+Two families, mirroring the paper's two input regimes:
+
+- :func:`lab_walk_trajectory` -- the live "user walked in our lab" input of
+  §III-A: a smooth random walk inside a room with natural head yaw and gentle
+  bobbing.
+- :func:`vicon_room_trajectory` -- a stand-in for EuRoC *Vicon Room 1
+  Medium* [66]: a faster figure-eight sweep with more aggressive rotation,
+  used for the offline VIO/image-quality experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.maths.splines import TrajectorySpline
+
+
+def lab_walk_trajectory(
+    duration: float = 35.0,
+    seed: int = 0,
+    room_half_extent: float = 3.0,
+    waypoint_spacing_s: float = 1.4,
+) -> TrajectorySpline:
+    """A practiced walking trajectory inside a lab-sized room.
+
+    Positions follow a bounded random walk at walking speed; yaw follows the
+    walk direction with smooth wander; pitch/roll carry small head
+    oscillations; height bobs around 1.7 m.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive: {duration}")
+    rng = np.random.default_rng(seed)
+    n_waypoints = max(6, int(duration / waypoint_spacing_s) + 3)
+    times = np.linspace(0.0, duration, n_waypoints)
+
+    # Bounded 2-D random walk with momentum (walking, ~0.8 m/s).
+    xy = np.zeros((n_waypoints, 2))
+    heading = rng.uniform(0.0, 2 * np.pi)
+    step = 0.8 * waypoint_spacing_s
+    for i in range(1, n_waypoints):
+        heading += rng.normal(0.0, 0.45)
+        proposal = xy[i - 1] + step * np.array([np.cos(heading), np.sin(heading)])
+        # Turn back toward the center when approaching a wall.
+        if np.max(np.abs(proposal)) > room_half_extent:
+            heading = np.arctan2(-xy[i - 1, 1], -xy[i - 1, 0]) + rng.normal(0.0, 0.3)
+            proposal = xy[i - 1] + step * np.array([np.cos(heading), np.sin(heading)])
+        xy[i] = np.clip(proposal, -room_half_extent, room_half_extent)
+
+    height = 1.7 + 0.03 * np.sin(2 * np.pi * times / 3.1) + rng.normal(0.0, 0.01, n_waypoints)
+    positions = np.column_stack([xy, height])
+
+    # Yaw tracks the direction of motion (people look where they walk).
+    deltas = np.diff(xy, axis=0)
+    segment_yaw = np.arctan2(deltas[:, 1], deltas[:, 0])
+    yaw = np.concatenate([[segment_yaw[0]], segment_yaw])
+    yaw = np.unwrap(yaw) + rng.normal(0.0, 0.1, n_waypoints)
+    pitch = 0.08 * np.sin(2 * np.pi * times / 5.3) + rng.normal(0.0, 0.02, n_waypoints)
+    roll = 0.04 * np.sin(2 * np.pi * times / 4.1) + rng.normal(0.0, 0.015, n_waypoints)
+    eulers = np.column_stack([yaw, pitch, roll])
+    return TrajectorySpline(times, positions, eulers)
+
+
+def vicon_room_trajectory(duration: float = 35.0, seed: int = 1) -> TrajectorySpline:
+    """An EuRoC-like medium-difficulty sweep: figure-eight with rotation.
+
+    Faster translation and wider angular excursions than the lab walk --
+    the "Medium" difficulty class of the Vicon Room sequences.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive: {duration}")
+    rng = np.random.default_rng(seed)
+    n_waypoints = max(8, int(duration / 0.9) + 3)
+    times = np.linspace(0.0, duration, n_waypoints)
+    phase = 2 * np.pi * times / 11.0
+    positions = np.column_stack(
+        [
+            2.0 * np.sin(phase) + rng.normal(0.0, 0.05, n_waypoints),
+            1.4 * np.sin(2 * phase) + rng.normal(0.0, 0.05, n_waypoints),
+            1.4 + 0.3 * np.sin(2 * np.pi * times / 7.0) + rng.normal(0.0, 0.02, n_waypoints),
+        ]
+    )
+    yaw = np.unwrap(0.9 * np.sin(2 * np.pi * times / 9.0) + 0.25 * rng.normal(0.0, 1.0, n_waypoints).cumsum() * 0.1)
+    pitch = 0.22 * np.sin(2 * np.pi * times / 6.1 + 1.0)
+    roll = 0.15 * np.sin(2 * np.pi * times / 4.7)
+    eulers = np.column_stack([yaw, pitch, roll])
+    return TrajectorySpline(times, positions, eulers)

@@ -1,0 +1,22 @@
+"""Discrete-event simulation substrate.
+
+The paper runs ILLIXR live on three hardware platforms.  This reproduction
+has no Jetson or GPU, so the runtime executes on a discrete-event simulator:
+plugins are simulation processes, CPU cores and the GPU are contended
+resources, and the virtual clock stands in for wall-clock time.  All timing
+phenomena the paper measures (missed deadlines, execution-time variability
+from contention, motion-to-photon latency) emerge from this substrate.
+"""
+
+from repro.sim.engine import Engine, Event, Interrupt, Process, Timeout
+from repro.sim.resources import Request, Resource
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Request",
+    "Resource",
+    "Timeout",
+]

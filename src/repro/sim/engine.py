@@ -1,0 +1,228 @@
+"""A minimal discrete-event simulation (DES) engine.
+
+Processes are Python generators that ``yield`` *waitables*:
+
+- :class:`Timeout` -- resume after a fixed simulated delay.
+- :class:`Event` -- resume when some other process succeeds the event.
+- :class:`Process` -- resume when another process finishes.
+
+The engine maintains a priority queue of pending occurrences keyed by
+``(time, sequence)`` so that simultaneous events fire in the deterministic
+order in which they were scheduled.  This is the same execution model as
+SimPy's core, rebuilt from scratch so the repository is self-contained.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+ProcessGenerator = Generator["Waitable", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (e.g. re-succeeding an event)."""
+
+
+class Waitable:
+    """Base class for things a process may ``yield`` on.
+
+    A waitable is *triggered* once its occurrence time is decided and
+    *processed* once all callbacks have run.  Each waitable carries a
+    ``value`` delivered to whoever waits on it (thrown if it is an
+    exception and ``ok`` is False).
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: Optional[list[Callable[["Waitable"], None]]] = []
+        self.value: Any = None
+        self.ok: bool = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the waitable has been scheduled to occur."""
+        return self.callbacks is None or self._scheduled
+
+    _scheduled = False
+
+    def _trigger(self, value: Any = None, ok: bool = True) -> None:
+        if self._scheduled or self.callbacks is None:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self.value = value
+        self.ok = ok
+        self._scheduled = True
+        self.engine._push(self)
+
+    def _process_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+
+class Event(Waitable):
+    """A one-shot event another process can succeed (or fail) with a value."""
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, resuming all waiters with ``value``."""
+        self._trigger(value, ok=True)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event so that waiters have ``exception`` raised."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("Event.fail() requires an exception instance")
+        self._trigger(exception, ok=False)
+        return self
+
+
+class Timeout(Waitable):
+    """Occurs a fixed ``delay`` after creation."""
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self.value = value
+        self._scheduled = True
+        engine._push(self, at=engine.now + delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Waitable):
+    """Wraps a generator; the process's completion is itself a waitable."""
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator, name: str = "") -> None:
+        super().__init__(engine)
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Waitable] = None
+        # Bootstrap: resume the process at the current time.
+        bootstrap = Timeout(engine, 0.0)
+        bootstrap.callbacks.append(self._resume)
+        self._target = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self.callbacks is not None and not self._scheduled
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        wakeup = Timeout(self.engine, 0.0, value=Interrupt(cause))
+        wakeup.ok = False
+        wakeup.callbacks.append(self._resume)
+        self._target = wakeup
+
+    def _resume(self, trigger: Waitable) -> None:
+        self._target = None
+        try:
+            if trigger.ok:
+                next_target = self.generator.send(trigger.value)
+            else:
+                next_target = self.generator.throw(trigger.value)
+        except StopIteration as stop:
+            self._trigger(stop.value, ok=True)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            if not self.callbacks:
+                raise
+            self._trigger(exc, ok=False)
+            return
+        if not isinstance(next_target, Waitable):
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-waitable: {next_target!r}"
+            )
+        if next_target.callbacks is None:
+            # Target already processed: resume immediately with its value.
+            wakeup = Timeout(self.engine, 0.0, value=next_target.value)
+            wakeup.ok = next_target.ok
+            wakeup.callbacks.append(self._resume)
+            self._target = wakeup
+        else:
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+
+
+class Engine:
+    """The discrete-event simulation core: a clock plus an event queue."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Waitable]] = []
+        self._sequence = 0
+
+    def _push(self, waitable: Waitable, at: Optional[float] = None) -> None:
+        when = self.now if at is None else at
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
+        heapq.heappush(self._queue, (when, self._sequence, waitable))
+        self._sequence += 1
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a timeout occurring ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create an untriggered one-shot event."""
+        return Event(self)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Register ``generator`` as a new process starting now."""
+        return Process(self, generator, name)
+
+    def step(self) -> None:
+        """Process the single next occurrence in the queue."""
+        when, _seq, waitable = heapq.heappop(self._queue)
+        self.now = when
+        waitable._process_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties or the clock reaches ``until``."""
+        if until is not None and until < self.now:
+            raise SimulationError(f"cannot run backwards to {until}")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+    def all_of(self, waitables: Iterable[Waitable]) -> Event:
+        """An event that succeeds once every input waitable has occurred."""
+        pending = [w for w in waitables if w.callbacks is not None]
+        done = self.event()
+        if not pending:
+            done.succeed([])
+            return done
+        remaining = {"count": len(pending)}
+
+        def on_occur(_w: Waitable) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                done.succeed(None)
+
+        for waitable in pending:
+            waitable.callbacks.append(on_occur)
+        return done

@@ -1,0 +1,30 @@
+"""Visual pipeline components.
+
+Takes the fresh pose from the perception pipeline and the frame submitted
+by the application and produces the final display (§II-A):
+
+- :mod:`repro.visual.scenes` -- the four evaluation applications
+  (Sponza, Materials, Platformer, AR Demo) as procedural scenes;
+- :mod:`repro.visual.renderer` -- a software ray-cast renderer standing in
+  for the Godot game engine ("the application");
+- :mod:`repro.visual.reprojection` -- asynchronous reprojection (rotational
+  TimeWarp, plus the translational variant ILLIXR added later);
+- :mod:`repro.visual.distortion` -- mesh-based lens distortion and
+  chromatic aberration correction;
+- :mod:`repro.visual.hologram` -- Weighted Gerchberg-Saxton multi-plane
+  computational holography.
+"""
+
+from repro.visual.reprojection import rotational_reproject, translational_reproject
+from repro.visual.renderer import RenderCamera, Renderer
+from repro.visual.scenes import APPLICATIONS, Scene, scene_by_name
+
+__all__ = [
+    "APPLICATIONS",
+    "RenderCamera",
+    "Renderer",
+    "Scene",
+    "rotational_reproject",
+    "scene_by_name",
+    "translational_reproject",
+]

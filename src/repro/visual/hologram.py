@@ -1,0 +1,185 @@
+"""Computational holography: Weighted Gerchberg-Saxton ([40], [42]).
+
+Computes the phase pattern a spatial light modulator (SLM) would display
+to present multiple focal planes to the user (the *adaptive display*
+component).  Propagation between the hologram plane and each depth plane
+uses the angular-spectrum method (FFT + transfer function); the weighted GS
+iteration drives every plane toward its target amplitude while equalizing
+energy across planes.
+
+Task accounting mirrors Table VII's hologram rows: ``hologram_to_depth``
+(forward propagations), ``sum`` (accumulating plane contributions), and
+``depth_to_hologram`` (backward propagations).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+TASK_NAMES = ("hologram_to_depth", "sum", "depth_to_hologram")
+
+
+@dataclass(frozen=True)
+class HologramResult:
+    """Output of one WGS solve."""
+
+    phase: np.ndarray                 # (N, N) SLM phase in [-pi, pi]
+    plane_amplitudes: List[np.ndarray]
+    efficiency: float                 # target-region energy fraction
+    uniformity: float                 # 1 - (max-min)/(max+min) across planes
+    iterations: int
+    task_times: Dict[str, float]
+
+
+@dataclass
+class WeightedGerchbergSaxton:
+    """Multi-plane WGS hologram solver on a square SLM."""
+
+    resolution: int = 128
+    wavelength_m: float = 520e-9
+    pixel_pitch_m: float = 8e-6
+    depths_m: Sequence[float] = (0.05, 0.10, 0.20)
+    _transfer: Dict[float, np.ndarray] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.resolution < 16 or self.resolution & (self.resolution - 1):
+            raise ValueError("resolution must be a power of two >= 16")
+        if not self.depths_m:
+            raise ValueError("need at least one depth plane")
+        n = self.resolution
+        fx = np.fft.fftfreq(n, d=self.pixel_pitch_m)
+        fxx, fyy = np.meshgrid(fx, fx)
+        inv_lambda2 = 1.0 / self.wavelength_m**2
+        arg = inv_lambda2 - fxx**2 - fyy**2
+        propagating = arg > 0
+        kz = 2 * np.pi * np.sqrt(np.where(propagating, arg, 0.0))
+        for z in self.depths_m:
+            if z <= 0:
+                raise ValueError(f"depth must be positive: {z}")
+            h = np.where(propagating, np.exp(1j * kz * z), 0.0)
+            self._transfer[z] = h
+
+    def propagate(self, field_in: np.ndarray, z: float, forward: bool = True) -> np.ndarray:
+        """Angular-spectrum propagation over distance ``z``."""
+        h = self._transfer[z]
+        if not forward:
+            h = np.conj(h)
+        return np.fft.ifft2(np.fft.fft2(field_in) * h)
+
+    def solve(
+        self, targets: Sequence[np.ndarray], iterations: int = 10, seed: int = 0
+    ) -> HologramResult:
+        """Run WGS for the per-plane target amplitude images."""
+        if len(targets) != len(self.depths_m):
+            raise ValueError(
+                f"{len(targets)} targets for {len(self.depths_m)} depth planes"
+            )
+        n = self.resolution
+        targets = [np.asarray(t, dtype=float) for t in targets]
+        for t in targets:
+            if t.shape != (n, n):
+                raise ValueError(f"target shape {t.shape} != ({n}, {n})")
+            if t.min() < 0:
+                raise ValueError("target amplitudes must be non-negative")
+        task_times: Dict[str, float] = defaultdict(float)
+        rng = np.random.default_rng(seed)
+        phase = rng.uniform(-np.pi, np.pi, (n, n))
+        weights = [np.ones((n, n)) for _ in targets]
+        # Normalize targets to unit energy so weighting is meaningful.
+        targets = [t / max(np.sqrt((t**2).sum()), 1e-12) for t in targets]
+
+        plane_amps: List[np.ndarray] = [np.zeros((n, n)) for _ in targets]
+        for _iteration in range(iterations):
+            hologram_field = np.exp(1j * phase)
+            plane_fields = []
+            t0 = time.perf_counter()
+            for z in self.depths_m:
+                plane_fields.append(self.propagate(hologram_field, z, forward=True))
+            task_times["hologram_to_depth"] += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            mean_amp = np.mean(
+                [float(np.mean(np.abs(f)[t > 0])) if np.any(t > 0) else 0.0
+                 for f, t in zip(plane_fields, targets)]
+            )
+            task_times["sum"] += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            accumulated = np.zeros((n, n), dtype=complex)
+            for k, (z, target) in enumerate(zip(self.depths_m, targets)):
+                amp = np.abs(plane_fields[k])
+                plane_amps[k] = amp
+                # WGS weight update: boost planes that are lagging.
+                in_target = target > 0
+                if np.any(in_target):
+                    plane_mean = float(np.mean(amp[in_target]))
+                    weights[k] = weights[k] * np.where(
+                        in_target, (mean_amp + 1e-12) / (amp + 1e-12), 1.0
+                    ) ** 0.5 if plane_mean > 0 else weights[k]
+                constrained = weights[k] * target * np.exp(1j * np.angle(plane_fields[k]))
+                accumulated += self.propagate(constrained, z, forward=False)
+            phase = np.angle(accumulated)
+            task_times["depth_to_hologram"] += time.perf_counter() - t0
+
+        # Final forward pass for metrics.
+        hologram_field = np.exp(1j * phase)
+        efficiencies = []
+        plane_means = []
+        for k, (z, target) in enumerate(zip(self.depths_m, targets)):
+            f = self.propagate(hologram_field, z, forward=True)
+            plane_amps[k] = np.abs(f)
+            in_target = target > 0
+            total = float((np.abs(f) ** 2).sum())
+            if np.any(in_target) and total > 0:
+                efficiencies.append(float((np.abs(f)[in_target] ** 2).sum()) / total)
+                plane_means.append(float(np.mean(np.abs(f)[in_target])))
+        efficiency = float(np.mean(efficiencies)) if efficiencies else 0.0
+        if len(plane_means) >= 2:
+            hi, lo = max(plane_means), min(plane_means)
+            uniformity = 1.0 - (hi - lo) / (hi + lo + 1e-12)
+        else:
+            uniformity = 1.0
+        return HologramResult(
+            phase=phase,
+            plane_amplitudes=plane_amps,
+            efficiency=efficiency,
+            uniformity=uniformity,
+            iterations=iterations,
+            task_times=dict(task_times),
+        )
+
+
+def focal_stack_from_frame(
+    image: np.ndarray, depth: np.ndarray, depths_m: Sequence[float], resolution: int
+) -> List[np.ndarray]:
+    """Slice a rendered RGB-D frame into per-plane target amplitudes.
+
+    Pixels are assigned to the nearest focal plane by depth; amplitude is
+    the luminance.  This is how the adaptive display consumes the visual
+    pipeline's output.
+    """
+    if image.ndim != 3:
+        raise ValueError("expected an (H, W, 3) image")
+    luminance = image @ np.array([0.2126, 0.7152, 0.0722])
+    # Resize (nearest) to the SLM resolution.
+    h, w = luminance.shape
+    ys = (np.arange(resolution) * h // resolution).clip(0, h - 1)
+    xs = (np.arange(resolution) * w // resolution).clip(0, w - 1)
+    lum_r = luminance[np.ix_(ys, xs)]
+    depth_r = depth[np.ix_(ys, xs)]
+    # Map metric depth to focal planes on a log scale of 1/d.
+    plane_edges = np.array(depths_m)
+    targets = []
+    assignment = np.argmin(
+        np.abs(np.log(np.maximum(depth_r, 1e-3))[..., None] - np.log(plane_edges * 30.0)),
+        axis=-1,
+    )
+    for k in range(len(depths_m)):
+        target = np.where((assignment == k) & (depth_r > 0), lum_r, 0.0)
+        targets.append(target)
+    return targets

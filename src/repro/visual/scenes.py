@@ -1,0 +1,200 @@
+"""The four evaluation applications as procedural scenes (§III-C).
+
+The paper's applications were chosen for diversity of rendering
+complexity: *Sponza* (high polygon count + global illumination) is the most
+graphics-intensive, then *Materials* (PBR spheres), then *Platformer*
+(boxy maze with physics), then the sparse *AR Demo* (a few virtual objects
+on the real world).  Our stand-ins keep that ordering: each scene is a set
+of analytic primitives with per-scene shading richness, and carries the
+render-cost profile the timing model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Sphere:
+    """A shaded sphere primitive."""
+
+    center: np.ndarray
+    radius: float
+    color: np.ndarray
+    specular: float = 0.3
+    material_id: int = 0
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned shaded box primitive."""
+
+    minimum: np.ndarray
+    maximum: np.ndarray
+    color: np.ndarray
+    specular: float = 0.1
+
+
+@dataclass(frozen=True)
+class Scene:
+    """One application's world.
+
+    ``render_complexity`` orders the apps by graphics intensity (1.0 =
+    Sponza); ``textured_room`` turns on the procedural wall texture
+    (AR Demo renders sparse content on black, like optical see-through).
+    """
+
+    name: str
+    title: str
+    spheres: Tuple[Sphere, ...]
+    boxes: Tuple[Box, ...]
+    textured_room: bool
+    room_half_extent: float
+    room_height: float
+    render_complexity: float
+    light_dir: np.ndarray = field(
+        default_factory=lambda: np.array([0.4, 0.3, -0.85]) / np.linalg.norm([0.4, 0.3, -0.85])
+    )
+    animated: bool = False
+
+
+def _sponza() -> Scene:
+    """Atrium-like interior: many columns (boxes) + ornaments (spheres)."""
+    rng = np.random.default_rng(42)
+    boxes: List[Box] = []
+    for x in (-2.4, -0.8, 0.8, 2.4):
+        for y in (-2.4, 2.4):
+            boxes.append(
+                Box(
+                    minimum=np.array([x - 0.18, y - 0.18, 0.0]),
+                    maximum=np.array([x + 0.18, y + 0.18, 2.6]),
+                    color=np.array([0.75, 0.68, 0.55]),
+                )
+            )
+    spheres = tuple(
+        Sphere(
+            center=np.array([rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(0.4, 2.0)]),
+            radius=rng.uniform(0.12, 0.3),
+            color=rng.uniform(0.3, 0.9, 3),
+            specular=0.5,
+            material_id=1,
+        )
+        for _ in range(8)
+    )
+    return Scene(
+        name="sponza",
+        title="Sponza",
+        spheres=spheres,
+        boxes=tuple(boxes),
+        textured_room=True,
+        room_half_extent=3.2,
+        room_height=3.0,
+        render_complexity=1.0,
+    )
+
+
+def _materials() -> Scene:
+    """PBR-style material test spheres on a grid."""
+    spheres = []
+    materials = 0
+    for x in (-1.6, -0.8, 0.0, 0.8, 1.6):
+        for y in (-1.0, 0.0, 1.0):
+            spheres.append(
+                Sphere(
+                    center=np.array([x, y, 1.2]),
+                    radius=0.3,
+                    color=np.array(
+                        [0.4 + 0.4 * ((materials * 37) % 3) / 2.0,
+                         0.3 + 0.5 * ((materials * 17) % 4) / 3.0,
+                         0.5 + 0.4 * ((materials * 7) % 5) / 4.0]
+                    ),
+                    specular=0.2 + 0.6 * (materials % 4) / 3.0,
+                    material_id=materials % 4,
+                )
+            )
+            materials += 1
+    return Scene(
+        name="materials",
+        title="Materials",
+        spheres=tuple(spheres),
+        boxes=(),
+        textured_room=True,
+        room_half_extent=3.0,
+        room_height=2.8,
+        render_complexity=0.68,
+    )
+
+
+def _platformer() -> Scene:
+    """Maze of platforms (boxes) with a few 'enemy' spheres."""
+    boxes = []
+    rng = np.random.default_rng(7)
+    for i in range(6):
+        x, y = rng.uniform(-2.2, 2.2, 2)
+        boxes.append(
+            Box(
+                minimum=np.array([x - 0.5, y - 0.5, 0.0]),
+                maximum=np.array([x + 0.5, y + 0.5, rng.uniform(0.3, 1.0)]),
+                color=np.array([0.5, 0.55, 0.6]),
+            )
+        )
+    spheres = tuple(
+        Sphere(
+            center=np.array([rng.uniform(-2, 2), rng.uniform(-2, 2), 0.9]),
+            radius=0.18,
+            color=np.array([0.85, 0.25, 0.2]),
+            specular=0.4,
+        )
+        for _ in range(3)
+    )
+    return Scene(
+        name="platformer",
+        title="Platformer",
+        spheres=spheres,
+        boxes=tuple(boxes),
+        textured_room=True,
+        room_half_extent=3.0,
+        room_height=2.8,
+        render_complexity=0.42,
+        animated=True,
+    )
+
+
+def _ar_demo() -> Scene:
+    """Sparse AR overlay: a few objects and an animated ball on 'reality'."""
+    spheres = (
+        Sphere(center=np.array([1.2, 0.0, 1.2]), radius=0.2, color=np.array([0.2, 0.7, 0.9]), specular=0.6),
+        Sphere(center=np.array([0.8, 0.9, 1.0]), radius=0.12, color=np.array([0.9, 0.8, 0.2]), specular=0.6),
+    )
+    boxes = (
+        Box(minimum=np.array([0.4, -0.8, 0.6]), maximum=np.array([0.8, -0.4, 1.0]), color=np.array([0.3, 0.8, 0.4])),
+    )
+    return Scene(
+        name="ar_demo",
+        title="AR Demo",
+        spheres=spheres,
+        boxes=boxes,
+        textured_room=False,   # see-through: virtual content on black
+        room_half_extent=3.5,
+        room_height=3.0,
+        render_complexity=0.18,
+        animated=True,
+    )
+
+
+APPLICATIONS: Dict[str, Scene] = {
+    scene.name: scene for scene in (_sponza(), _materials(), _platformer(), _ar_demo())
+}
+
+APPLICATION_ORDER = ("sponza", "materials", "platformer", "ar_demo")
+
+
+def scene_by_name(name: str) -> Scene:
+    """Look up an application scene by its key."""
+    try:
+        return APPLICATIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown application {name!r}; options: {sorted(APPLICATIONS)}") from None

@@ -1,0 +1,30 @@
+"""Shared fixtures: kept deliberately small/fast; session-scoped where the
+object is expensive (dataset synthesis, trained eye tracker, full runs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.hardware.platform import DESKTOP
+from repro.sensors.dataset import make_vicon_room_dataset
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A 6-second offline dataset shared by VIO tests."""
+    return make_vicon_room_dataset(duration=6.0, seed=1)
+
+
+@pytest.fixture(scope="session")
+def desktop_full_run():
+    """One short full-fidelity integrated run on the desktop."""
+    from repro.core.runtime import build_runtime
+
+    config = SystemConfig(duration_s=3.0, fidelity="full", seed=0)
+    return build_runtime(DESKTOP, "platformer", config).run()
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,54 @@
+"""Unit tests for the offline dataset (record/replay)."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.dataset import make_vicon_room_dataset
+
+
+def test_dataset_rates(small_dataset):
+    duration = 6.0
+    assert len(small_dataset.camera_frames) == pytest.approx(duration * 15, abs=1)
+    assert len(small_dataset.imu_samples) == pytest.approx(duration * 500, abs=2)
+
+
+def test_imu_between_windows(small_dataset):
+    window = small_dataset.imu_between(1.0, 1.1)
+    assert len(window) == pytest.approx(50, abs=1)
+    assert all(1.0 < s.timestamp <= 1.1 for s in window)
+
+
+def test_imu_between_empty_window(small_dataset):
+    assert small_dataset.imu_between(2.0, 2.0) == []
+
+
+def test_frames_between(small_dataset):
+    frames = small_dataset.frames_between(0.0, 1.0)
+    assert len(frames) == pytest.approx(15, abs=1)
+    assert all(0.0 < f.timestamp <= 1.0 for f in frames)
+
+
+def test_ground_truth_matches_trajectory(small_dataset):
+    pose = small_dataset.ground_truth(2.5)
+    sample = small_dataset.trajectory.sample(2.5)
+    assert np.allclose(pose.position, sample.position)
+    assert pose.timestamp == 2.5
+
+
+def test_dataset_deterministic():
+    a = make_vicon_room_dataset(duration=2.0, seed=7)
+    b = make_vicon_room_dataset(duration=2.0, seed=7)
+    frame_a = a.camera_frames[10]
+    frame_b = b.camera_frames[10]
+    assert frame_a.observations == frame_b.observations
+
+
+def test_dataset_exposure_knob():
+    noisy = make_vicon_room_dataset(duration=1.0, seed=1, exposure_ms=0.25)
+    assert noisy.camera.pixel_noise > make_vicon_room_dataset(
+        duration=1.0, seed=1, exposure_ms=4.0
+    ).camera.pixel_noise
+
+
+def test_dataset_duration_property(small_dataset):
+    assert small_dataset.duration >= 6.0

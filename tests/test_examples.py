@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs end-to-end with small inputs.
+
+Examples are part of the public API surface; these tests keep them from
+rotting.  Each main() is invoked with tiny arguments via argv patching.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run_example(monkeypatch, capsys, name, argv):
+    monkeypatch.setattr(sys, "argv", [name] + argv)
+    path = os.path.join(EXAMPLES_DIR, name)
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = _run_example(monkeypatch, capsys, "quickstart.py", ["platformer", "desktop", "2"])
+    assert "Motion-to-photon latency" in out
+    assert "vio" in out
+
+
+def test_platform_comparison(monkeypatch, capsys):
+    out = _run_example(monkeypatch, capsys, "platform_comparison.py", ["ar_demo", "2"])
+    assert "Jetson-LP" in out
+    assert "Targets" in out
+
+
+def test_openxr_app(monkeypatch, capsys, tmp_path):
+    out = _run_example(monkeypatch, capsys, "openxr_app.py", [str(tmp_path)])
+    assert "Timewarp improved SSIM by +" in out
+    assert any(f.endswith(".ppm") for f in os.listdir(tmp_path))
+
+
+def test_spatial_audio(monkeypatch, capsys, tmp_path):
+    wav = os.path.join(tmp_path, "out.wav")
+    out = _run_example(monkeypatch, capsys, "spatial_audio.py", ["1.5", wav])
+    assert "stereo" in out
+    assert os.path.exists(wav)
+    # Valid RIFF/WAVE header.
+    with open(wav, "rb") as handle:
+        header = handle.read(12)
+    assert header[:4] == b"RIFF" and header[8:12] == b"WAVE"
+
+
+def test_offload_vio(monkeypatch, capsys):
+    out = _run_example(monkeypatch, capsys, "offload_vio.py", ["2"])
+    assert "offloaded" in out
+    assert "round trip" in out
+
+
+def test_full_xr_system(monkeypatch, capsys, tmp_path):
+    ply = os.path.join(tmp_path, "map.ply")
+    out = _run_example(monkeypatch, capsys, "full_xr_system.py", ["1.5", ply])
+    assert "eye_tracking" in out
+    assert "scene_reconstruction" in out
+
+
+@pytest.mark.slow
+def test_standalone_components_quick(monkeypatch, capsys):
+    out = _run_example(monkeypatch, capsys, "standalone_components.py", ["--quick"])
+    assert "Table VI" in out
+    assert "cycle breakdown" in out

@@ -1,0 +1,143 @@
+"""Unit tests for the RK4 / complementary IMU integrators."""
+
+import numpy as np
+import pytest
+
+from repro.maths.quaternion import quat_from_axis_angle, quat_identity
+from repro.perception.integrator import (
+    ComplementaryIntegrator,
+    IntegratorState,
+    Rk4Integrator,
+)
+from repro.sensors.imu import GRAVITY_W, ImuSample
+
+
+def _state(**kwargs):
+    defaults = dict(
+        timestamp=0.0,
+        orientation=quat_identity(),
+        position=np.zeros(3),
+        velocity=np.zeros(3),
+    )
+    defaults.update(kwargs)
+    return IntegratorState(**defaults)
+
+
+def _stationary_sample(t):
+    # Specific force cancels gravity exactly: the body is at rest.
+    return ImuSample(timestamp=t, gyro=np.zeros(3), accel=-GRAVITY_W)
+
+
+def test_stationary_body_stays_put():
+    integrator = Rk4Integrator(_state())
+    for i in range(1, 101):
+        integrator.step(_stationary_sample(i * 0.002))
+    assert np.allclose(integrator.state.position, 0.0, atol=1e-12)
+    assert np.allclose(integrator.state.velocity, 0.0, atol=1e-12)
+
+
+def test_free_fall():
+    integrator = Rk4Integrator(_state())
+    # Zero specific force = free fall.
+    for i in range(1, 501):
+        integrator.step(ImuSample(timestamp=i * 0.002, gyro=np.zeros(3), accel=np.zeros(3)))
+    t = 1.0
+    assert integrator.state.position[2] == pytest.approx(-0.5 * 9.81 * t * t, rel=1e-6)
+    assert integrator.state.velocity[2] == pytest.approx(-9.81 * t, rel=1e-9)
+
+
+def test_constant_velocity():
+    integrator = Rk4Integrator(_state(velocity=np.array([1.0, -0.5, 0.0])))
+    for i in range(1, 501):
+        integrator.step(_stationary_sample(i * 0.002))
+    assert np.allclose(integrator.state.position, [1.0, -0.5, 0.0], atol=1e-9)
+
+
+def test_pure_rotation_matches_closed_form():
+    omega = np.array([0.0, 0.0, 1.2])
+    integrator = Rk4Integrator(_state())
+    # Rotating body at rest: specific force rotates with the body, but the
+    # body frame z stays aligned with gravity for yaw rotation.
+    for i in range(1, 501):
+        integrator.step(ImuSample(timestamp=i * 0.002, gyro=omega, accel=-GRAVITY_W))
+    expected = quat_from_axis_angle(np.array([0.0, 0.0, 1.0]), 1.2)
+    from repro.maths.quaternion import quat_angle_between
+
+    assert quat_angle_between(integrator.state.orientation, expected) < 1e-6
+
+
+def test_circular_motion_accuracy():
+    """A body on a circle: RK4 should track the analytic path closely."""
+    radius, omega = 1.0, 2.0
+    integrator = Rk4Integrator(
+        _state(position=np.array([radius, 0.0, 0.0]), velocity=np.array([0.0, radius * omega, 0.0]))
+    )
+    dt = 0.002
+    for i in range(1, 1001):
+        t = i * dt
+        # World-frame centripetal accel, body frame = world (no rotation).
+        accel_w = np.array(
+            [-radius * omega**2 * np.cos(omega * (t - dt / 2)),
+             -radius * omega**2 * np.sin(omega * (t - dt / 2)), 0.0]
+        )
+        integrator.step(ImuSample(timestamp=t, gyro=np.zeros(3), accel=accel_w - GRAVITY_W))
+    t_final = 2.0
+    expected = np.array([radius * np.cos(omega * t_final), radius * np.sin(omega * t_final), 0.0])
+    assert np.linalg.norm(integrator.state.position - expected) < 0.01
+
+
+def test_bias_subtraction():
+    bias = np.array([0.05, -0.02, 0.01])
+    integrator = Rk4Integrator(_state(gyro_bias=bias))
+    for i in range(1, 101):
+        integrator.step(ImuSample(timestamp=i * 0.002, gyro=bias, accel=-GRAVITY_W))
+    # Measured gyro equals the bias -> true rotation is zero.
+    assert np.allclose(integrator.state.orientation, quat_identity(), atol=1e-9)
+
+
+def test_out_of_order_sample_rejected():
+    integrator = Rk4Integrator(_state(timestamp=1.0))
+    with pytest.raises(ValueError):
+        integrator.step(_stationary_sample(0.5))
+
+
+def test_zero_dt_is_noop():
+    integrator = Rk4Integrator(_state(timestamp=1.0))
+    before = integrator.state
+    after = integrator.step(_stationary_sample(1.0))
+    assert after is before
+
+
+def test_reset_reanchors():
+    integrator = Rk4Integrator(_state())
+    integrator.step(_stationary_sample(0.002))
+    new_anchor = _state(timestamp=5.0, position=np.array([1.0, 2.0, 3.0]))
+    integrator.reset(new_anchor)
+    assert integrator.state.timestamp == 5.0
+    assert np.allclose(integrator.state.position, [1.0, 2.0, 3.0])
+
+
+def test_complementary_close_to_rk4_over_short_horizon():
+    rk4 = Rk4Integrator(_state(velocity=np.array([0.5, 0.0, 0.0])))
+    euler = ComplementaryIntegrator(_state(velocity=np.array([0.5, 0.0, 0.0])))
+    rng = np.random.default_rng(0)
+    for i in range(1, 101):
+        sample = ImuSample(
+            timestamp=i * 0.002,
+            gyro=rng.normal(0, 0.3, 3),
+            accel=-GRAVITY_W + rng.normal(0, 0.5, 3),
+        )
+        rk4.step(sample)
+        euler.step(sample)
+    assert np.linalg.norm(rk4.state.position - euler.state.position) < 1e-3
+
+
+def test_complementary_rejects_old_samples():
+    euler = ComplementaryIntegrator(_state(timestamp=1.0))
+    with pytest.raises(ValueError):
+        euler.step(_stationary_sample(0.2))
+
+
+def test_state_pose_carries_timestamp():
+    state = _state(timestamp=2.5)
+    assert state.pose().timestamp == 2.5

@@ -1,0 +1,115 @@
+"""Unit tests for the OpenXR-style application interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.switchboard import Switchboard
+from repro.maths.quaternion import quat_from_axis_angle
+from repro.maths.se3 import Pose
+from repro.openxr import Instance
+from repro.openxr.api import CompositionLayer, XrError
+
+
+@pytest.fixture
+def session():
+    switchboard = Switchboard()
+    clock = {"now": 0.0}
+    instance = Instance.create("test app")
+    sess = instance.create_session(switchboard, now_fn=lambda: clock["now"])
+    return sess, switchboard, clock
+
+
+def _publish_pose(switchboard, t, position=(0.0, 0.0, 1.7), orientation=None):
+    pose = Pose(np.array(position), orientation if orientation is not None else np.array([1.0, 0, 0, 0]),
+                timestamp=t)
+    switchboard.topic("fast_pose").put(t, pose, data_time=t)
+    return pose
+
+
+def test_instance_requires_name():
+    with pytest.raises(XrError):
+        Instance.create("")
+
+
+def test_wait_frame_predicts_next_vsync(session):
+    sess, _sb, clock = session
+    clock["now"] = 0.01
+    frame = sess.wait_frame()
+    assert frame.predicted_display_time == pytest.approx(2 / 120)
+    assert frame.predicted_display_period == pytest.approx(1 / 120)
+
+
+def test_frame_loop_state_machine(session):
+    sess, switchboard, _clock = session
+    _publish_pose(switchboard, 0.0)
+    frame = sess.wait_frame()
+    sess.begin_frame()
+    with pytest.raises(XrError):
+        sess.begin_frame()  # double begin
+    views = sess.locate_views(frame.predicted_display_time)
+    sess.end_frame(frame, [CompositionLayer(pose=views[0].pose)])
+    # end without begin
+    with pytest.raises(XrError):
+        sess.end_frame(frame, [])
+
+
+def test_locate_views_returns_stereo_pair(session):
+    sess, switchboard, _clock = session
+    _publish_pose(switchboard, 0.0)
+    views = sess.locate_views(0.0)
+    assert [v.eye for v in views] == ["left", "right"]
+    separation = np.linalg.norm(views[0].pose.position - views[1].pose.position)
+    assert separation == pytest.approx(sess.ipd_m)
+
+
+def test_locate_views_without_pose_uses_default(session):
+    sess, _sb, _clock = session
+    views = sess.locate_views(0.0)
+    assert views[0].pose.position[2] == pytest.approx(1.7, abs=0.1)
+
+
+def test_pose_prediction_extrapolates_rotation(session):
+    sess, switchboard, _clock = session
+    # Two poses rotating about z at 1 rad/s.
+    _publish_pose(switchboard, 0.00)
+    q = quat_from_axis_angle(np.array([0.0, 0.0, 1.0]), 0.01)
+    switchboard.topic("fast_pose").put(0.01, Pose(np.array([0.0, 0.0, 1.7]), q, timestamp=0.01), data_time=0.01)
+    views = sess.locate_views(display_time=0.03)  # 20 ms ahead
+    from repro.maths.quaternion import quat_angle_between
+
+    predicted_angle = quat_angle_between(np.array([1.0, 0, 0, 0]), views[0].pose.orientation)
+    assert predicted_angle > 0.02  # beyond the last measured 0.01 rad
+
+
+def test_end_frame_publishes_submitted_frame(session):
+    sess, switchboard, clock = session
+    pose = _publish_pose(switchboard, 0.0)
+    clock["now"] = 0.001
+    frame = sess.wait_frame()
+    sess.begin_frame()
+    sess.end_frame(frame, [CompositionLayer(pose=pose)])
+    submitted = switchboard.topic("frame").get_latest()
+    assert submitted is not None
+    assert submitted.data.pose.translation_error(pose) == 0.0
+    assert sess.frames_submitted == 1
+
+
+def test_end_frame_with_no_layers_is_noop(session):
+    sess, switchboard, _clock = session
+    frame = sess.wait_frame()
+    sess.begin_frame()
+    sess.end_frame(frame, [])
+    assert switchboard.topic("frame").get_latest() is None
+
+
+def test_request_exit_stops_loop(session):
+    sess, _sb, _clock = session
+    sess.request_exit()
+    assert not sess.running
+    with pytest.raises(XrError):
+        sess.wait_frame()
+
+
+def test_invalid_display_rate():
+    with pytest.raises(XrError):
+        Instance.create("x").create_session(Switchboard(), display_rate_hz=0.0)

@@ -1,0 +1,93 @@
+"""Tests for the OpenXR swapchain semantics."""
+
+import numpy as np
+import pytest
+
+from repro.openxr.api import XrError
+from repro.openxr.swapchain import Swapchain
+
+
+def test_acquire_wait_release_cycle():
+    chain = Swapchain(width=8, height=6)
+    index = chain.acquire_image()
+    image = chain.wait_image(index)
+    image.buffer[:] = 0.5
+    chain.release_image(index)
+    sampled = chain.latest_released()
+    assert sampled is not None
+    assert np.all(sampled.buffer == 0.5)
+
+
+def test_images_cycle_in_order():
+    chain = Swapchain(width=4, height=4, capacity=3)
+    order = [chain.acquire_image() for _ in range(3)]
+    assert order == [0, 1, 2]
+
+
+def test_cannot_over_acquire():
+    chain = Swapchain(width=4, height=4, capacity=2)
+    chain.acquire_image()
+    chain.acquire_image()
+    with pytest.raises(XrError):
+        chain.acquire_image()
+
+
+def test_release_requires_wait():
+    chain = Swapchain(width=4, height=4)
+    index = chain.acquire_image()
+    with pytest.raises(XrError):
+        chain.release_image(index)  # write hazard
+    chain.wait_image(index)
+    chain.release_image(index)
+
+
+def test_release_requires_acquire():
+    chain = Swapchain(width=4, height=4)
+    with pytest.raises(XrError):
+        chain.wait_image(0)
+    with pytest.raises(XrError):
+        chain.release_image(0)
+    with pytest.raises(XrError):
+        chain.wait_image(99)
+
+
+def test_compositor_samples_latest_and_recycles():
+    chain = Swapchain(width=4, height=4, capacity=3)
+    for value in (0.1, 0.2):
+        index = chain.acquire_image()
+        chain.wait_image(index).buffer[:] = value
+        chain.release_image(index)
+    # Compositor sees the newest; the older one returns to the free ring.
+    assert np.all(chain.latest_released().buffer == 0.2)
+    chain.recycle()
+    assert chain.latest_released() is None
+    # All images eventually reusable.
+    for _ in range(3):
+        index = chain.acquire_image()
+        chain.wait_image(index)
+        chain.release_image(index)
+
+
+def test_validation():
+    with pytest.raises(XrError):
+        Swapchain(width=0, height=4)
+    with pytest.raises(XrError):
+        Swapchain(width=4, height=4, capacity=1)
+
+
+def test_camera_resolution_knob_scales_cost():
+    from repro.core.config import SystemConfig
+    from repro.core.runtime import build_runtime
+    from repro.hardware.platform import DESKTOP
+
+    vga = build_runtime(
+        DESKTOP, "ar_demo", SystemConfig(duration_s=2.0, fidelity="model")
+    ).run()
+    hd = build_runtime(
+        DESKTOP, "ar_demo",
+        SystemConfig(duration_s=2.0, fidelity="model", camera_resolution="2K"),
+    ).run()
+    assert (
+        hd.logger.mean_execution_time("camera")
+        > 5 * vga.logger.mean_execution_time("camera")
+    )

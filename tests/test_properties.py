@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on the core substrate invariants:
+DES causality, resource capacity, switchboard coherence, scheduler
+accounting, and cost-model positivity."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.switchboard import Topic
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+
+
+# ---------------------------------------------------------------------------
+# DES engine causality
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=25))
+def test_engine_fires_timeouts_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fired = []
+
+    def waiter(eng, delay):
+        yield eng.timeout(delay)
+        fired.append(eng.now)
+
+    for delay in delays:
+        engine.process(waiter(engine, delay))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert engine.now == max(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0.01, 5.0, allow_nan=False), st.floats(0.01, 5.0, allow_nan=False)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_engine_chained_waits_accumulate(pairs):
+    """A process that sleeps a then b wakes exactly at a + b."""
+    engine = Engine()
+    results = []
+
+    def chain(eng, a, b):
+        yield eng.timeout(a)
+        yield eng.timeout(b)
+        results.append((eng.now, a + b))
+
+    for a, b in pairs:
+        engine.process(chain(engine, a, b))
+    engine.run()
+    for now, expected in results:
+        assert abs(now - expected) < 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 4), st.lists(st.floats(0.05, 2.0, allow_nan=False), min_size=1, max_size=16))
+def test_resource_never_exceeds_capacity(capacity, durations):
+    engine = Engine()
+    resource = Resource(engine, capacity)
+    in_use_samples = []
+
+    def worker(eng, duration):
+        request = resource.request()
+        yield request
+        in_use_samples.append(resource.in_use)
+        yield eng.timeout(duration)
+        resource.release(request)
+
+    for duration in durations:
+        engine.process(worker(engine, duration))
+    engine.run()
+    assert all(sample <= capacity for sample in in_use_samples)
+    assert resource.in_use == 0
+    assert resource.queue_length == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 3), st.lists(st.floats(0.05, 1.0, allow_nan=False), min_size=1, max_size=10))
+def test_resource_work_conservation(capacity, durations):
+    """Total busy slot-seconds equals the sum of hold durations."""
+    engine = Engine()
+    resource = Resource(engine, capacity)
+
+    def worker(eng, duration):
+        request = resource.request()
+        yield request
+        yield eng.timeout(duration)
+        resource.release(request)
+
+    for duration in durations:
+        engine.process(worker(engine, duration))
+    engine.run()
+    assert abs(resource.busy_time() - sum(durations)) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Switchboard coherence
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=60))
+def test_sync_reader_sees_exactly_the_published_sequence(values):
+    topic = Topic("t")
+    reader = topic.subscribe_queue()
+    for i, value in enumerate(values):
+        topic.put(float(i), value)
+    drained = [event.data for event in reader.drain()]
+    assert drained == values
+    assert topic.get_latest().data == values[-1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=40),
+    st.floats(0.0, 100.0, allow_nan=False),
+)
+def test_get_latest_before_is_supremum(times, query):
+    times = sorted(times)
+    topic = Topic("t", history=len(times))
+    for t in times:
+        topic.put(t, t)
+    event = topic.get_latest_before(query)
+    eligible = [t for t in times if t <= query]
+    if not eligible:
+        assert event is None
+    else:
+        assert event.data == max(eligible)
+
+
+# ---------------------------------------------------------------------------
+# Timing model positivity / scaling
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sampled_from(["vio", "camera", "timewarp", "audio_playback", "hologram"]),
+    st.floats(0.1, 3.0, allow_nan=False),
+    st.integers(0, 10_000),
+)
+def test_timing_samples_positive_and_finite(component, complexity, seed):
+    from repro.hardware.platform import JETSON_HP
+    from repro.hardware.timing import TimingModel
+
+    timing = TimingModel(JETSON_HP, seed=seed)
+    sample = timing.sample(component, complexity=complexity)
+    assert sample.cpu_time >= 0.0 and np.isfinite(sample.cpu_time)
+    assert sample.gpu_time >= 0.0 and np.isfinite(sample.gpu_time)
+    assert sample.total > 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(0.0, 1.0, allow_nan=False), st.floats(0.0, 1.0, allow_nan=False))
+def test_power_breakdown_positive_and_monotone(cpu_util, gpu_util):
+    from repro.hardware.platform import JETSON_LP
+    from repro.hardware.power import PowerModel
+
+    model = PowerModel(JETSON_LP)
+    breakdown = model.breakdown(cpu_util, gpu_util)
+    assert breakdown.total > 0
+    higher = model.breakdown(min(cpu_util + 0.1, 1.0), gpu_util)
+    assert higher.total >= breakdown.total - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Quaternion/pose round trips through the full stack
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.tuples(*[st.floats(-3, 3, allow_nan=False)] * 3),
+    st.tuples(*[st.floats(-1, 1, allow_nan=False)] * 3).filter(
+        lambda v: 1e-3 < np.linalg.norm(v) < np.pi - 0.1
+    ),
+)
+def test_pose_relative_compose_roundtrip(position, rotvec):
+    from repro.maths.quaternion import quat_exp
+    from repro.maths.se3 import Pose
+
+    pose = Pose(np.array(position), quat_exp(np.array(rotvec)))
+    reference = Pose(np.array([1.0, -2.0, 0.5]), quat_exp(np.array([0.2, -0.1, 0.4])))
+    relative = pose.relative_to(reference)
+    recovered = reference.compose(relative)
+    assert recovered.translation_error(pose) < 1e-9
+    assert recovered.rotation_error(pose) < 1e-9

@@ -1,0 +1,32 @@
+"""The top-level package exposes a coherent, importable public API."""
+
+import pytest
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.does_not_exist  # noqa: B018
+
+
+def test_version_string():
+    major, *_rest = repro.__version__.split(".")
+    assert int(major) >= 1
+
+
+def test_convenience_builders_exposed():
+    assert callable(repro.build_runtime)
+    assert callable(repro.build_extended_runtime)
+    assert callable(repro.build_offloaded_runtime)
+    assert callable(repro.evaluate_image_quality)
+
+
+def test_platforms_mapping():
+    assert set(repro.PLATFORMS) == {"desktop", "jetson-hp", "jetson-lp"}
+    assert repro.DESKTOP is repro.PLATFORMS["desktop"]

@@ -1,0 +1,87 @@
+"""Tests for the offline image-quality replay (§III-E methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.qoe import (
+    ImageQualityResult,
+    audio_bitrate_kbps,
+    evaluate_image_quality,
+    pose_error_series,
+)
+from repro.visual.renderer import RenderCamera
+
+
+def test_replay_produces_frames(desktop_full_run):
+    quality = evaluate_image_quality(
+        desktop_full_run, max_frames=4, camera=RenderCamera(width=96, height=54)
+    )
+    assert quality.frames == 4
+    assert 0.0 < quality.ssim_mean <= 1.0
+    assert quality.ssim_std >= 0.0
+
+
+def test_replay_quality_near_perfect_for_accurate_poses(desktop_full_run):
+    """On the desktop the pipeline's poses are accurate: actual vs ideal
+    reprojections should be close to identical."""
+    quality = evaluate_image_quality(
+        desktop_full_run, max_frames=4, camera=RenderCamera(width=96, height=54)
+    )
+    assert quality.ssim_mean > 0.8
+    assert quality.one_minus_flip_mean > 0.85
+
+
+def test_replay_translational_variant(desktop_full_run):
+    quality = evaluate_image_quality(
+        desktop_full_run,
+        max_frames=3,
+        camera=RenderCamera(width=64, height=36),
+        translational=True,
+    )
+    assert 0.0 < quality.ssim_mean <= 1.0
+
+
+def test_replay_validation(desktop_full_run):
+    with pytest.raises(ValueError):
+        evaluate_image_quality(desktop_full_run, max_frames=0)
+    with pytest.raises(ValueError):
+        evaluate_image_quality(desktop_full_run, skip_initial_s=1e9)
+
+
+def test_result_row_rendering():
+    row = ImageQualityResult(0.9312, 0.02, 0.985, 0.01, 10).row()
+    assert "SSIM 0.93" in row and "1-FLIP 0.98" in row
+
+
+def test_audio_bitrate_matches_hoa_configuration():
+    # 16 channels x 48 kHz x 32 bits = 24.576 Mbit/s.
+    assert audio_bitrate_kbps() == pytest.approx(24576.0)
+    assert audio_bitrate_kbps(channels=4) == pytest.approx(6144.0)
+
+
+def test_pose_error_series(desktop_full_run):
+    times, errors = pose_error_series(desktop_full_run)
+    assert len(times) == len(errors) > 10
+    assert np.all(np.diff(times) > 0)
+    assert np.all(errors >= 0)
+    assert errors.mean() < 0.1
+
+
+# ---------------------------------------------------------------------------
+# Metrics export (the artifact's results/metrics equivalent)
+# ---------------------------------------------------------------------------
+
+
+def test_runtime_summary_is_json_serializable(desktop_full_run, tmp_path):
+    import json
+    import os
+
+    summary = desktop_full_run.summary()
+    assert summary["platform"] == "desktop"
+    assert summary["app"] == "platformer"
+    assert summary["mtp_ms"]["count"] > 100
+    path = os.path.join(tmp_path, "metrics.json")
+    desktop_full_run.save_metrics(path)
+    loaded = json.load(open(path))
+    assert loaded["frame_rates_hz"]["vio"] == pytest.approx(15.0, abs=1.0)
+    assert abs(sum(loaded["cpu_share"].values()) - 1.0) < 1e-3

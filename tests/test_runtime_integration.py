@@ -1,0 +1,197 @@
+"""Integration tests: the full system booted on each platform.
+
+Fast checks use model fidelity (no real algorithms); the shared
+``desktop_full_run`` fixture provides one full-fidelity run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.runtime import build_runtime
+from repro.hardware.platform import DESKTOP, JETSON_HP, JETSON_LP
+from repro.plugins.extended import build_extended_runtime
+
+
+def _model_run(platform, app="platformer", duration=3.0, seed=0):
+    config = SystemConfig(duration_s=duration, fidelity="model", seed=seed)
+    return build_runtime(platform, app, config).run()
+
+
+# ---------------------------------------------------------------------------
+# Fast model-fidelity runs
+# ---------------------------------------------------------------------------
+
+
+def test_all_components_run_on_desktop():
+    result = _model_run(DESKTOP)
+    rates = result.frame_rates()
+    expected = {
+        "camera", "imu", "vio", "integrator",
+        "application", "timewarp", "audio_encoding", "audio_playback",
+    }
+    assert expected <= set(rates)
+
+
+def test_desktop_meets_targets_on_platformer():
+    result = _model_run(DESKTOP)
+    rates = result.frame_rates()
+    assert rates["camera"] == pytest.approx(15, abs=0.5)
+    assert rates["vio"] == pytest.approx(15, abs=1.0)
+    assert rates["imu"] == pytest.approx(500, abs=2)
+    assert rates["integrator"] > 480
+    assert rates["application"] > 100
+    assert rates["timewarp"] > 110
+    assert rates["audio_encoding"] == pytest.approx(48, abs=1)
+
+
+def test_jetson_lp_misses_visual_targets_on_sponza():
+    result = _model_run(JETSON_LP, app="sponza")
+    rates = result.frame_rates()
+    assert rates["application"] < 30        # severely degraded (Fig. 3c)
+    assert rates["timewarp"] < 100
+    assert rates["audio_encoding"] > 45     # audio still meets target
+    assert rates["vio"] < 15                # VIO drops frames
+
+
+def test_mtp_ordering_across_platforms():
+    mtps = {}
+    for platform in (DESKTOP, JETSON_HP, JETSON_LP):
+        mtps[platform.key] = _model_run(platform, app="sponza").mtp_summary().mean_ms
+    assert mtps["desktop"] < mtps["jetson-hp"] < mtps["jetson-lp"]
+    assert mtps["desktop"] < 5.0            # meets VR target comfortably
+    assert mtps["jetson-lp"] > 12.0
+
+
+def test_mtp_grows_with_app_complexity_on_jetson():
+    simple = _model_run(JETSON_LP, app="ar_demo").mtp_summary().mean_ms
+    complex_ = _model_run(JETSON_LP, app="sponza").mtp_summary().mean_ms
+    assert complex_ > simple
+
+
+def test_power_ordering_and_structure():
+    desktop = _model_run(DESKTOP, app="sponza").power
+    jetson_hp = _model_run(JETSON_HP, app="sponza").power
+    jetson_lp = _model_run(JETSON_LP, app="sponza").power
+    assert desktop.total > 80
+    assert 8 < jetson_hp.total < 16
+    assert 5 < jetson_lp.total < 10
+    shares = jetson_lp.share()
+    assert shares["SoC"] + shares["Sys"] > 0.45
+    assert desktop.share()["GPU"] > 0.5
+
+
+def test_cpu_share_structure():
+    shares = _model_run(DESKTOP, app="sponza").cpu_share()
+    # VIO and the application dominate; reprojection stays near/below 10%.
+    assert shares["vio"] > 0.2
+    assert shares["application"] > 0.15
+    assert shares["timewarp"] < 0.15
+
+
+def test_vio_and_app_dominate_cycles_everywhere():
+    for platform in (DESKTOP, JETSON_HP, JETSON_LP):
+        shares = _model_run(platform, app="materials").cpu_share()
+        top_two = sorted(shares, key=shares.get, reverse=True)[:3]
+        assert "vio" in top_two
+
+
+def test_runs_reproducible_per_seed():
+    a = _model_run(DESKTOP, seed=42)
+    b = _model_run(DESKTOP, seed=42)
+    assert a.mtp_summary().mean_ms == b.mtp_summary().mean_ms
+    assert a.logger.mean_execution_time("vio") == b.logger.mean_execution_time("vio")
+    # A different seed draws different execution times.  (MTP itself is
+    # seed-invariant on the desktop: every frame makes its vsync, so
+    # MTP = imu_age + lead exactly -- compare sampled costs instead.)
+    c = _model_run(DESKTOP, seed=43)
+    assert a.logger.mean_execution_time("vio") != c.logger.mean_execution_time("vio")
+
+
+def test_execution_time_variability_exists():
+    """Fig. 4: per-frame times vary even for non-input-dependent parts."""
+    result = _model_run(DESKTOP)
+    for plugin in ("camera", "timewarp", "audio_playback"):
+        times = result.logger.execution_times(plugin)
+        assert np.std(times) > 0
+
+
+def test_invalid_duration_rejected():
+    config = SystemConfig(duration_s=1.0, fidelity="model")
+    runtime = build_runtime(DESKTOP, "sponza", config)
+    with pytest.raises(ValueError):
+        runtime.run(duration=-1.0)
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(KeyError):
+        build_runtime(DESKTOP, "minecraft", SystemConfig(duration_s=1.0))
+
+
+# ---------------------------------------------------------------------------
+# Full-fidelity run (shared fixture)
+# ---------------------------------------------------------------------------
+
+
+def test_full_run_vio_tracks_ground_truth(desktop_full_run):
+    result = desktop_full_run
+    assert len(result.vio_trajectory) > 30
+    errors = [
+        est.pose.translation_error(result.ground_truth(est.timestamp))
+        for _, est in result.vio_trajectory
+    ]
+    assert np.mean(errors) < 0.1
+
+
+def test_full_run_produces_mtp_and_display_events(desktop_full_run):
+    result = desktop_full_run
+    assert result.mtp_summary().count > 100
+    assert len(result.display_events) == len(result.mtp_samples)
+    event = result.display_events[-1]
+    assert event.submit_time <= result.duration + 1 / 60
+    assert event.imu_age >= 0
+
+
+def test_full_run_mtp_decomposition(desktop_full_run):
+    for sample in desktop_full_run.mtp_samples[:50]:
+        assert 0 <= sample.imu_age < 0.05
+        assert 0 < sample.reprojection_time < 0.05
+        assert 0 <= sample.swap_wait < 1 / 60
+
+
+def test_full_run_fast_pose_stream_active(desktop_full_run):
+    # The integrator publishes at nearly the IMU rate.
+    assert desktop_full_run.fast_pose_count > 0.9 * 500 * desktop_full_run.duration
+
+
+def test_full_run_image_quality(desktop_full_run):
+    from repro.metrics.qoe import evaluate_image_quality
+
+    quality = evaluate_image_quality(desktop_full_run, max_frames=6)
+    assert 0.6 < quality.ssim_mean <= 1.0
+    assert 0.6 < quality.one_minus_flip_mean <= 1.0
+    assert quality.frames == 6
+
+
+def test_full_run_audio_pipeline_active(desktop_full_run):
+    rates = desktop_full_run.frame_rates()
+    assert rates["audio_playback"] > 45
+
+
+# ---------------------------------------------------------------------------
+# Extended configuration
+# ---------------------------------------------------------------------------
+
+
+def test_extended_runtime_runs_all_eleven_components():
+    config = SystemConfig(duration_s=1.0, fidelity="model", seed=0)
+    result = build_extended_runtime(DESKTOP, "platformer", config).run()
+    rates = result.frame_rates()
+    assert {"eye_tracking", "hologram", "depth_camera"} <= set(rates)
+    assert rates["eye_tracking"] == pytest.approx(30, abs=1.5)
+
+
+def test_phonebook_services_registered():
+    runtime = build_runtime(DESKTOP, "sponza", SystemConfig(duration_s=1.0, fidelity="model"))
+    for service in ("engine", "platform", "config", "trajectory", "timing"):
+        assert service in runtime.phonebook

@@ -1,0 +1,164 @@
+"""Unit tests for contended resources (CPU cores / GPU model)."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.resources import Resource
+
+
+def hold(engine, resource, duration, log, tag, priority=0):
+    request = resource.request(priority=priority)
+    yield request
+    log.append(("start", tag, engine.now))
+    yield engine.timeout(duration)
+    resource.release(request)
+    log.append(("end", tag, engine.now))
+
+
+def test_capacity_one_serializes():
+    engine = Engine()
+    resource = Resource(engine, 1)
+    log = []
+    engine.process(hold(engine, resource, 2.0, log, "a"))
+    engine.process(hold(engine, resource, 1.0, log, "b"))
+    engine.run()
+    assert log == [
+        ("start", "a", 0.0),
+        ("end", "a", 2.0),
+        ("start", "b", 2.0),
+        ("end", "b", 3.0),
+    ]
+
+
+def test_capacity_two_overlaps():
+    engine = Engine()
+    resource = Resource(engine, 2)
+    log = []
+    engine.process(hold(engine, resource, 2.0, log, "a"))
+    engine.process(hold(engine, resource, 2.0, log, "b"))
+    engine.run()
+    starts = [entry for entry in log if entry[0] == "start"]
+    assert [s[2] for s in starts] == [0.0, 0.0]
+
+
+def test_fifo_ordering_at_same_priority():
+    engine = Engine()
+    resource = Resource(engine, 1)
+    log = []
+    for tag in ("a", "b", "c"):
+        engine.process(hold(engine, resource, 1.0, log, tag))
+    engine.run()
+    starts = [entry[1] for entry in log if entry[0] == "start"]
+    assert starts == ["a", "b", "c"]
+
+
+def test_priority_jumps_queue():
+    engine = Engine()
+    resource = Resource(engine, 1)
+    log = []
+
+    def late_priority(eng):
+        yield eng.timeout(0.5)  # arrives while 'a' holds and 'b' waits
+        yield from hold(eng, resource, 1.0, log, "urgent", priority=-1)
+
+    engine.process(hold(engine, resource, 2.0, log, "a"))
+    engine.process(hold(engine, resource, 1.0, log, "b"))
+    engine.process(late_priority(engine))
+    engine.run()
+    starts = [entry[1] for entry in log if entry[0] == "start"]
+    assert starts == ["a", "urgent", "b"]
+
+
+def test_invalid_capacity_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        Resource(engine, 0)
+
+
+def test_release_unknown_request_rejected():
+    engine = Engine()
+    resource = Resource(engine, 1)
+    other = Resource(engine, 1)
+    request = other.request()
+    with pytest.raises(SimulationError):
+        resource.release(request)
+
+
+def test_release_waiting_request_is_withdrawal():
+    engine = Engine()
+    resource = Resource(engine, 1)
+    first = resource.request()
+    second = resource.request()
+    assert resource.queue_length == 1
+    resource.release(second)  # withdraw the waiting one
+    assert resource.queue_length == 0
+    assert resource.in_use == 1
+    resource.release(first)
+    assert resource.in_use == 0
+
+
+def test_cancel_waiting_request():
+    engine = Engine()
+    resource = Resource(engine, 1)
+    first = resource.request()
+    second = resource.request()
+    resource.cancel(second)
+    assert resource.queue_length == 0
+    resource.cancel(first)
+    assert resource.in_use == 0
+
+
+def test_in_use_and_queue_length():
+    engine = Engine()
+    resource = Resource(engine, 2)
+    resource.request()
+    resource.request()
+    resource.request()
+    assert resource.in_use == 2
+    assert resource.queue_length == 1
+
+
+def test_utilization_full_occupancy():
+    engine = Engine()
+    resource = Resource(engine, 1)
+    log = []
+    engine.process(hold(engine, resource, 4.0, log, "a"))
+    engine.run()
+    assert resource.utilization() == pytest.approx(1.0)
+
+
+def test_utilization_half_occupancy():
+    engine = Engine()
+    resource = Resource(engine, 2)
+    log = []
+    engine.process(hold(engine, resource, 4.0, log, "a"))
+    engine.run()
+    assert resource.utilization() == pytest.approx(0.5)
+
+
+def test_utilization_zero_before_time_advances():
+    engine = Engine()
+    resource = Resource(engine, 1)
+    assert resource.utilization() == 0.0
+
+
+def test_busy_time_accumulates_slot_seconds():
+    engine = Engine()
+    resource = Resource(engine, 2)
+    log = []
+    engine.process(hold(engine, resource, 2.0, log, "a"))
+    engine.process(hold(engine, resource, 3.0, log, "b"))
+    engine.run()
+    assert resource.busy_time() == pytest.approx(5.0)
+
+
+def test_release_wakes_next_waiter_immediately():
+    engine = Engine()
+    resource = Resource(engine, 1)
+    granted = []
+    first = resource.request()
+    second = resource.request()
+    second.callbacks.append(lambda _e: granted.append(engine.now))
+    resource.release(first)
+    engine.run()
+    assert granted == [0.0]

@@ -1,0 +1,137 @@
+"""Unit tests for the switchboard event streams."""
+
+import pytest
+
+from repro.core.switchboard import StampedEvent, Switchboard, Topic
+
+
+def test_put_and_get_latest():
+    topic = Topic("t")
+    topic.put(1.0, "a")
+    topic.put(2.0, "b")
+    latest = topic.get_latest()
+    assert latest.data == "b"
+    assert latest.publish_time == 2.0
+
+
+def test_get_latest_empty_is_none():
+    assert Topic("t").get_latest() is None
+
+
+def test_non_monotonic_publish_rejected():
+    topic = Topic("t")
+    topic.put(2.0, "a")
+    with pytest.raises(ValueError):
+        topic.put(1.0, "b")
+
+
+def test_equal_time_publish_allowed():
+    topic = Topic("t")
+    topic.put(1.0, "a")
+    topic.put(1.0, "b")
+    assert topic.get_latest().data == "b"
+
+
+def test_sequence_numbers_increment():
+    topic = Topic("t")
+    events = [topic.put(float(i), i) for i in range(4)]
+    assert [e.sequence for e in events] == [0, 1, 2, 3]
+
+
+def test_data_time_defaults_to_publish_time():
+    event = StampedEvent(publish_time=5.0, data="x")
+    assert event.effective_data_time == 5.0
+
+
+def test_data_time_override():
+    event = StampedEvent(publish_time=5.0, data="x", data_time=4.2)
+    assert event.effective_data_time == 4.2
+
+
+def test_get_latest_before():
+    topic = Topic("t")
+    for t in (1.0, 2.0, 3.0):
+        topic.put(t, t)
+    assert topic.get_latest_before(2.5).data == 2.0
+    assert topic.get_latest_before(0.5) is None
+    assert topic.get_latest_before(3.0).data == 3.0
+
+
+def test_sync_reader_sees_every_event():
+    topic = Topic("t")
+    reader = topic.subscribe_queue()
+    for i in range(5):
+        topic.put(float(i), i)
+    assert [e.data for e in reader.drain()] == [0, 1, 2, 3, 4]
+
+
+def test_sync_reader_misses_nothing_even_past_history_cap():
+    topic = Topic("t", history=2)
+    reader = topic.subscribe_queue()
+    for i in range(10):
+        topic.put(float(i), i)
+    assert len(reader) == 10  # queue unaffected by the async history cap
+
+
+def test_sync_reader_starts_at_subscription():
+    topic = Topic("t")
+    topic.put(0.0, "before")
+    reader = topic.subscribe_queue()
+    topic.put(1.0, "after")
+    assert [e.data for e in reader.drain()] == ["after"]
+
+
+def test_sync_reader_pop_and_peek():
+    topic = Topic("t")
+    reader = topic.subscribe_queue()
+    topic.put(0.0, "a")
+    topic.put(1.0, "b")
+    assert reader.peek().data == "a"
+    assert reader.pop().data == "a"
+    assert reader.pop().data == "b"
+    assert reader.peek() is None
+    with pytest.raises(IndexError):
+        reader.pop()
+
+
+def test_async_history_keeps_only_latest_n():
+    topic = Topic("t", history=3)
+    for i in range(10):
+        topic.put(float(i), i)
+    assert [e.data for e in topic.history()] == [7, 8, 9]
+
+
+def test_callback_invoked_on_publish():
+    topic = Topic("t")
+    seen = []
+    topic.subscribe_callback(lambda e: seen.append(e.data))
+    topic.put(0.0, "x")
+    assert seen == ["x"]
+
+
+def test_invalid_history_rejected():
+    with pytest.raises(ValueError):
+        Topic("t", history=0)
+
+
+def test_switchboard_creates_and_reuses_topics():
+    sb = Switchboard()
+    t1 = sb.topic("pose")
+    t2 = sb.topic("pose")
+    assert t1 is t2
+    assert "pose" in sb
+    assert "other" not in sb
+
+
+def test_switchboard_topic_names_sorted():
+    sb = Switchboard()
+    sb.topic("b")
+    sb.topic("a")
+    assert sb.topic_names() == ["a", "b"]
+
+
+def test_count_tracks_total_publishes():
+    topic = Topic("t", history=2)
+    for i in range(7):
+        topic.put(float(i), i)
+    assert topic.count == 7

@@ -1,0 +1,85 @@
+"""Tests for the per-task descriptor tables and the §V-B shared-primitive
+analysis."""
+
+import pytest
+
+from repro.analysis.tasks import (
+    TASK_DESCRIPTORS,
+    descriptor,
+    descriptors_for,
+    shared_primitives,
+)
+
+
+def test_every_measured_task_has_a_descriptor():
+    """The descriptor table must cover every task name the timed
+    implementations emit (Tables VI/VII stay renderable in full)."""
+    from repro.audio.encoding import AudioEncoder  # noqa: F401 - import check
+    from repro.perception.reconstruction.pipeline import TASK_NAMES as RECON_TASKS
+    from repro.perception.vio.msckf import TASK_NAMES as VIO_TASKS
+    from repro.visual.hologram import TASK_NAMES as HOLOGRAM_TASKS
+
+    expectations = {
+        "vio": set(VIO_TASKS),
+        "scene_reconstruction": set(RECON_TASKS),
+        "hologram": set(HOLOGRAM_TASKS),
+        "audio_encoding": {"normalization", "encoding", "summation"},
+        "audio_playback": {"psychoacoustic_filter", "rotation", "zoom", "binauralization"},
+        "timewarp": {"fbo", "opengl_state", "reprojection"},
+        "eye_tracking": {"convolution", "batch_copy", "activation", "misc"},
+    }
+    for component, tasks in expectations.items():
+        described = {d.task for d in descriptors_for(component)}
+        assert tasks <= described, (component, tasks - described)
+
+
+def test_descriptor_lookup():
+    entry = descriptor("vio", "msckf_update")
+    assert "QR nullspace projection" in entry.computation
+    with pytest.raises(KeyError):
+        descriptor("vio", "warp_drive")
+
+
+def test_no_duplicate_rows():
+    keys = [(d.component, d.task) for d in TASK_DESCRIPTORS]
+    assert len(keys) == len(set(keys))
+
+
+def test_shared_primitives_match_paper_claims():
+    """§V-B names Cholesky (VIO + scene reconstruction) explicitly; FFT
+    and GEMM are the other obvious cross-component blocks."""
+    shared = shared_primitives()
+    assert set(shared["Cholesky solve"]) == {"vio", "scene_reconstruction"}
+    assert {"audio_playback", "hologram"} <= set(shared["FFT"])
+    assert {"vio", "eye_tracking"} <= set(shared["GEMM"])
+
+
+def test_shared_primitives_threshold():
+    all_primitives = shared_primitives(min_components=1)
+    multi = shared_primitives(min_components=2)
+    assert set(multi) < set(all_primitives)
+    strict = shared_primitives(min_components=3)
+    assert set(strict) <= set(multi)
+
+
+def test_render_includes_descriptor_columns():
+    from repro.analysis.report import render_task_breakdown
+    from repro.analysis.standalone import TaskBreakdown
+
+    breakdown = TaskBreakdown(
+        component="audio_encoding",
+        task_seconds={"normalization": 0.1, "encoding": 0.8, "summation": 0.1},
+        frames=10,
+        mean_frame_ms=1.0,
+        extras={},
+    )
+    text = render_task_breakdown(breakdown)
+    assert "Memory pattern" in text
+    assert "column-major" in text
+
+
+def test_render_shared_primitives_report():
+    from repro.analysis.report import render_shared_primitives
+
+    text = render_shared_primitives()
+    assert "Cholesky" in text and "vio" in text

@@ -1,0 +1,157 @@
+"""Integration tests for the full MSCKF filter on the offline dataset."""
+
+import numpy as np
+import pytest
+
+from repro.perception.vio.msckf import TASK_NAMES, Msckf, MsckfConfig
+from repro.perception.vio.tracker import FeatureTracker, Track
+
+
+def _run_filter(dataset, config=None, skip_frames=frozenset()):
+    config = config or MsckfConfig.standard()
+    vio = Msckf(
+        config,
+        dataset.camera.intrinsics,
+        dataset.camera.baseline_m,
+        dataset.ground_truth(0.0),
+        initial_velocity=dataset.trajectory.sample(0.0).velocity,
+    )
+    t_last = 0.0
+    errors = []
+    for index, frame in enumerate(dataset.camera_frames):
+        for sample in dataset.imu_between(t_last, frame.timestamp):
+            vio.process_imu(sample)
+        t_last = frame.timestamp
+        if index in skip_frames:
+            continue
+        estimate = vio.process_frame(frame)
+        errors.append(
+            estimate.pose.translation_error(dataset.ground_truth(frame.timestamp))
+        )
+    return vio, np.asarray(errors)
+
+
+def test_filter_converges_on_dataset(small_dataset):
+    vio, errors = _run_filter(small_dataset)
+    assert errors.mean() < 0.12
+    assert errors.max() < 0.35
+    # Error must not grow without bound: the last quarter is comparable
+    # to the middle (no divergence).
+    n = len(errors)
+    assert errors[3 * n // 4 :].mean() < 4 * errors[n // 4 : n // 2].mean() + 0.05
+
+
+def test_filter_window_bounded(small_dataset):
+    vio, _ = _run_filter(small_dataset)
+    assert len(vio.state.clones) <= MsckfConfig.standard().max_clones
+    assert len(vio.state.landmarks) <= MsckfConfig.standard().max_slam_landmarks
+
+
+def test_filter_covariance_stays_symmetric_psd(small_dataset):
+    vio, _ = _run_filter(small_dataset)
+    cov = vio.state.covariance
+    assert np.allclose(cov, cov.T, atol=1e-9)
+    eigenvalues = np.linalg.eigvalsh(cov)
+    assert eigenvalues.min() > -1e-8
+
+
+def test_task_breakdown_covers_all_rows(small_dataset):
+    vio, _ = _run_filter(small_dataset)
+    breakdown = vio.task_breakdown()
+    assert set(breakdown) == set(TASK_NAMES)
+    # Every task actually ran.
+    for name in ("feature_matching", "feature_initialization", "msckf_update", "marginalization"):
+        assert breakdown[name] > 0.0, name
+
+
+def test_filter_tolerates_dropped_frames(small_dataset):
+    skip = set(range(10, len(small_dataset.camera_frames), 4))
+    _, errors = _run_filter(small_dataset, skip_frames=skip)
+    assert errors.mean() < 0.2
+
+
+def test_high_accuracy_preset_tracks_more_features(small_dataset):
+    standard, _ = _run_filter(small_dataset, MsckfConfig.standard())
+    high, _ = _run_filter(small_dataset, MsckfConfig.high_accuracy())
+    assert high.tracker.max_features > standard.tracker.max_features
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MsckfConfig(max_clones=2)
+    with pytest.raises(ValueError):
+        MsckfConfig(max_clones=5, slam_promotion_length=9)
+
+
+def test_estimate_fields(small_dataset):
+    vio, _ = _run_filter(small_dataset)
+    estimate = vio.estimate()
+    assert estimate.position_sigma > 0
+    assert estimate.tracked_features >= 0
+    assert estimate.slam_landmarks == len(vio.state.landmarks)
+
+
+# ---------------------------------------------------------------------------
+# Tracker
+# ---------------------------------------------------------------------------
+
+
+def _frame(ids, timestamp=0.0):
+    from repro.sensors.camera import CameraFrame
+
+    return CameraFrame(
+        timestamp=timestamp,
+        observations={i: (100.0 + i, 100.0, 95.0 + i, 100.0) for i in ids},
+    )
+
+
+def test_tracker_match_extends_and_retires():
+    tracker = FeatureTracker(max_features=10)
+    tracker.detect(_frame([1, 2, 3]), clone_id=0)
+    matched, lost = tracker.match(_frame([2, 3, 4]), clone_id=1)
+    assert matched == 2
+    assert [t.feature_id for t in lost] == [1]
+    assert tracker.active[2].length == 2
+
+
+def test_tracker_budget():
+    tracker = FeatureTracker(max_features=5)
+    detected = tracker.detect(_frame(range(20)), clone_id=0)
+    assert detected == 5
+    assert len(tracker.active) == 5
+
+
+def test_tracker_exclusion():
+    tracker = FeatureTracker(max_features=10)
+    tracker.detect(_frame([1, 2, 3]), clone_id=0, exclude={2})
+    assert 2 not in tracker.active
+
+
+def test_tracker_drop_clone():
+    tracker = FeatureTracker(max_features=10)
+    tracker.detect(_frame([1]), clone_id=0)
+    tracker.match(_frame([1]), clone_id=1)
+    tracker.drop_clone(0)
+    assert list(tracker.active[1].observations) == [1]
+
+
+def test_tracker_minimum_budget():
+    with pytest.raises(ValueError):
+        FeatureTracker(max_features=2)
+
+
+def test_track_add_and_drop():
+    track = Track(feature_id=9)
+    track.add(0, np.array([1.0, 2.0]), np.array([0.5, 2.0]))
+    track.add(1, np.array([1.1, 2.1]), np.array([0.6, 2.1]))
+    assert track.length == 2
+    track.drop_clone(0)
+    assert track.length == 1
+    track.drop_clone(42)  # no-op
+    assert track.length == 1
+
+
+def test_tracker_process_frame_wrapper():
+    tracker = FeatureTracker(max_features=10)
+    report = tracker.process_frame(_frame([1, 2]), clone_id=0)
+    assert report.detected == 2 and report.matched == 0 and report.lost == []

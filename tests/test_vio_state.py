@@ -1,0 +1,158 @@
+"""Unit tests for the MSCKF state container."""
+
+import numpy as np
+import pytest
+
+from repro.maths.quaternion import quat_identity
+from repro.perception.vio.state import CLONE_DIM, IMU_DIM, LANDMARK_DIM, VioState
+
+
+def _state():
+    return VioState(
+        timestamp=0.0,
+        orientation=quat_identity(),
+        position=np.zeros(3),
+        velocity=np.zeros(3),
+    )
+
+
+def test_initial_dimension():
+    assert _state().dim == IMU_DIM
+
+
+def test_augment_clone_grows_state():
+    state = _state()
+    clone = state.augment_clone()
+    assert state.dim == IMU_DIM + CLONE_DIM
+    assert clone.clone_id == 0
+    assert state.covariance.shape == (state.dim, state.dim)
+
+
+def test_clone_copies_current_pose():
+    state = _state()
+    state.position = np.array([1.0, 2.0, 3.0])
+    clone = state.augment_clone()
+    assert np.allclose(clone.position, [1.0, 2.0, 3.0])
+    # Mutating the clone must not alias the IMU state.
+    clone.position[0] = 99.0
+    assert state.position[0] == 1.0
+
+
+def test_clone_covariance_correlated_with_imu_block():
+    state = _state()
+    state.covariance[:3, :3] = 0.04 * np.eye(3)
+    state.covariance[3:6, 3:6] = 0.09 * np.eye(3)
+    state.augment_clone()
+    offset = IMU_DIM
+    # Clone theta block equals IMU theta block (perfect correlation).
+    assert np.allclose(state.covariance[offset : offset + 3, offset : offset + 3], 0.04 * np.eye(3))
+    assert np.allclose(state.covariance[offset : offset + 3, 0:3], 0.04 * np.eye(3))
+    assert np.allclose(
+        state.covariance[offset + 3 : offset + 6, offset + 3 : offset + 6], 0.09 * np.eye(3)
+    )
+
+
+def test_marginalize_clone_shrinks_state():
+    state = _state()
+    a = state.augment_clone()
+    b = state.augment_clone()
+    state.marginalize_clone(a.clone_id)
+    assert state.dim == IMU_DIM + CLONE_DIM
+    assert state.clones[0].clone_id == b.clone_id
+    with pytest.raises(KeyError):
+        state.clone_index(a.clone_id)
+
+
+def test_clone_ids_monotonic():
+    state = _state()
+    first = state.augment_clone()
+    state.marginalize_clone(first.clone_id)
+    second = state.augment_clone()
+    assert second.clone_id == first.clone_id + 1
+
+
+def test_clone_offset():
+    state = _state()
+    a = state.augment_clone()
+    b = state.augment_clone()
+    assert state.clone_offset(a.clone_id) == IMU_DIM
+    assert state.clone_offset(b.clone_id) == IMU_DIM + CLONE_DIM
+
+
+def test_landmark_offsets_in_insertion_order():
+    state = _state()
+    state.augment_clone()
+    base = IMU_DIM + CLONE_DIM
+    # Simulate delayed init bookkeeping: enlarge covariance by hand.
+    for feature_id in (42, 7):
+        dim = state.dim
+        grown = np.zeros((dim + LANDMARK_DIM, dim + LANDMARK_DIM))
+        grown[:dim, :dim] = state.covariance
+        grown[dim:, dim:] = np.eye(3)
+        state.covariance = grown
+        state.landmarks[feature_id] = np.zeros(3)
+    assert state.landmark_offset(42) == base
+    assert state.landmark_offset(7) == base + LANDMARK_DIM
+    assert state.landmark_ids() == [42, 7]
+
+
+def test_remove_landmark():
+    state = _state()
+    for feature_id in (1, 2):
+        dim = state.dim
+        grown = np.zeros((dim + 3, dim + 3))
+        grown[:dim, :dim] = state.covariance
+        grown[dim:, dim:] = np.eye(3) * feature_id
+        state.covariance = grown
+        state.landmarks[feature_id] = np.full(3, float(feature_id))
+    state.remove_landmark(1)
+    assert state.landmark_ids() == [2]
+    offset = state.landmark_offset(2)
+    assert np.allclose(state.covariance[offset:, offset:], 2 * np.eye(3))
+
+
+def test_landmark_offset_missing_raises():
+    with pytest.raises(KeyError):
+        _state().landmark_offset(3)
+
+
+def test_inject_updates_all_blocks():
+    state = _state()
+    clone = state.augment_clone()
+    dim = state.dim
+    grown = np.zeros((dim + 3, dim + 3))
+    grown[:dim, :dim] = state.covariance
+    state.covariance = grown
+    state.landmarks[5] = np.zeros(3)
+    delta = np.zeros(state.dim)
+    delta[3:6] = [0.1, 0.2, 0.3]                 # IMU position
+    delta[IMU_DIM + 3 : IMU_DIM + 6] = [1.0, 0.0, 0.0]  # clone position
+    delta[-3:] = [0.0, 0.5, 0.0]                 # landmark
+    state.inject(delta)
+    assert np.allclose(state.position, [0.1, 0.2, 0.3])
+    assert np.allclose(clone.position, [1.0, 0.0, 0.0])
+    assert np.allclose(state.landmarks[5], [0.0, 0.5, 0.0])
+
+
+def test_inject_wrong_shape_rejected():
+    state = _state()
+    with pytest.raises(ValueError):
+        state.inject(np.zeros(state.dim + 1))
+
+
+def test_inject_rotation_is_local_perturbation():
+    state = _state()
+    delta = np.zeros(state.dim)
+    delta[0:3] = [0.0, 0.0, 0.1]
+    state.inject(delta)
+    from repro.maths.quaternion import quat_angle_between, quat_identity
+
+    assert quat_angle_between(state.orientation, quat_identity()) == pytest.approx(0.1, abs=1e-9)
+
+
+def test_symmetrize():
+    state = _state()
+    state.covariance[0, 1] = 1.0
+    state.symmetrize()
+    assert state.covariance[0, 1] == pytest.approx(0.5)
+    assert np.allclose(state.covariance, state.covariance.T)
