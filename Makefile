@@ -1,0 +1,12 @@
+# Convenience targets; see docs/performance.md for the check/bench loop.
+
+.PHONY: check test bench
+
+check:
+	bash scripts/check.sh
+
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+bench:
+	PYTHONPATH=src python benchmarks/perf_harness.py

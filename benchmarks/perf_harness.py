@@ -1,0 +1,308 @@
+"""Before/after benchmark harness for the accelerated hot-path kernels.
+
+Times each rewritten kernel against the reference implementation it
+retains (``accelerated=False``), checks numerical parity, and writes the
+results to ``BENCH_hotpaths.json`` at the repository root — one datapoint
+in the perf trajectory ROADMAP.md asks every PR to extend.
+
+Kernels covered:
+
+- ``hologram.solve``      — WGS holography (3 planes, 128^2, 10 iterations)
+- ``tsdf.integrate``      — TSDF fusion (96^3 voxels, 80x60 depth camera)
+- ``metrics.ssim``        — SSIM on a 240x320 RGB pair
+- ``metrics.flip``        — FLIP on a 240x320 RGB pair
+- ``switchboard.get_latest_before`` — bisect vs. linear scan over a topic
+
+Usage::
+
+    python benchmarks/perf_harness.py                  # full acceptance config
+    python benchmarks/perf_harness.py --quick          # tiny smoke (~seconds)
+    python benchmarks/perf_harness.py --json out.json  # alternate output path
+
+Exits non-zero if any parity check fails, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.switchboard import Topic  # noqa: E402
+from repro.maths.se3 import Pose  # noqa: E402
+from repro.metrics.flip import flip  # noqa: E402
+from repro.metrics.ssim import ssim  # noqa: E402
+from repro.perception.reconstruction.tsdf import TsdfVolume  # noqa: E402
+from repro.perf import parallel_map, profile_summary, enable_profiling  # noqa: E402
+from repro.sensors.depth import DepthCamera, DepthScene  # noqa: E402
+from repro.visual.hologram import WeightedGerchbergSaxton  # noqa: E402
+
+
+def _time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall time in seconds (minimizes scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _focal_targets(n: int, planes: int, seed: int) -> List[np.ndarray]:
+    """Focal-stack-style targets: pixels partitioned across depth planes."""
+    from scipy.ndimage import gaussian_filter
+
+    rng = np.random.default_rng(seed)
+    depthmap = gaussian_filter(rng.random((n, n)), n / 16)
+    edges = np.quantile(depthmap, [(k + 1) / planes for k in range(planes - 1)])
+    assignment = np.digitize(depthmap, edges)
+    luminance = gaussian_filter(rng.random((n, n)), 2)
+    return [np.where(assignment == k, luminance, 0.0) for k in range(planes)]
+
+
+def bench_hologram(quick: bool, repeats: int) -> Dict[str, object]:
+    n = 32 if quick else 128
+    iterations = 1 if quick else 10
+    depths = (0.05, 0.10, 0.20)
+    targets = _focal_targets(n, len(depths), seed=7)
+    reference = WeightedGerchbergSaxton(resolution=n, depths_m=depths, accelerated=False)
+    accelerated = WeightedGerchbergSaxton(resolution=n, depths_m=depths, accelerated=True)
+
+    ref_result = reference.solve(targets, iterations=iterations, seed=0)
+    acc_result = accelerated.solve(targets, iterations=iterations, seed=0)
+    phase_dev = float(np.abs(acc_result.phase - ref_result.phase).max())
+    t_ref = _time(lambda: reference.solve(targets, iterations=iterations, seed=0), repeats)
+    t_acc = _time(lambda: accelerated.solve(targets, iterations=iterations, seed=0), repeats)
+    return {
+        "config": {"resolution": n, "planes": len(depths), "iterations": iterations},
+        "reference_ms": t_ref * 1e3,
+        "accelerated_ms": t_acc * 1e3,
+        "speedup": t_ref / t_acc,
+        "parity": {
+            "max_phase_deviation": phase_dev,
+            "efficiency_deviation": abs(acc_result.efficiency - ref_result.efficiency),
+            "uniformity_deviation": abs(acc_result.uniformity - ref_result.uniformity),
+            "ok": bool(phase_dev <= 1e-8),
+        },
+    }
+
+
+def _tsdf_poses(count: int) -> List[Pose]:
+    return [
+        Pose(
+            np.array([0.5 + 0.05 * i, 0.2 - 0.03 * i, 1.6]),
+            np.array([np.cos(0.08 * i), 0.0, 0.0, np.sin(0.08 * i)]),
+        )
+        for i in range(count)
+    ]
+
+
+def bench_tsdf(quick: bool, repeats: int) -> Dict[str, object]:
+    resolution = 32 if quick else 96
+    camera = DepthCamera(DepthScene.default(seed=3), width=80, height=60, noise_std=0.0)
+    poses = _tsdf_poses(2 if quick else 4)
+    frames = [camera.render(p, noisy=False) for p in poses]
+
+    def run(accelerated: bool) -> TsdfVolume:
+        volume = TsdfVolume(resolution=resolution, accelerated=accelerated)
+        for depth, pose in zip(frames, poses):
+            volume.integrate(depth, pose, camera)
+        return volume
+
+    ref_volume = run(False)
+    acc_volume = run(True)
+    exact = bool(
+        np.array_equal(ref_volume.tsdf, acc_volume.tsdf)
+        and np.array_equal(ref_volume.weight, acc_volume.weight)
+    )
+    t_ref = _time(lambda: run(False), repeats)
+    t_acc = _time(lambda: run(True), repeats)
+    return {
+        "config": {"resolution": resolution, "frames": len(frames), "camera": "80x60"},
+        "reference_ms": t_ref * 1e3 / len(frames),
+        "accelerated_ms": t_acc * 1e3 / len(frames),
+        "speedup": t_ref / t_acc,
+        "parity": {"grids_bit_exact": exact, "ok": exact},
+    }
+
+
+def _metric_pair(quick: bool) -> tuple:
+    shape = (60, 80, 3) if quick else (240, 320, 3)
+    rng = np.random.default_rng(11)
+    reference = rng.random(shape)
+    test = np.clip(reference + rng.normal(0.0, 0.05, shape), 0.0, 1.0)
+    return reference, test
+
+
+def bench_ssim(quick: bool, repeats: int) -> Dict[str, object]:
+    reference, test = _metric_pair(quick)
+    ref_value = ssim(reference, test, accelerated=False)
+    acc_value = ssim(reference, test, accelerated=True)
+    exact = bool(
+        np.array_equal(
+            ssim(reference, test, full=True, accelerated=False),
+            ssim(reference, test, full=True, accelerated=True),
+        )
+    )
+    t_ref = _time(lambda: ssim(reference, test, accelerated=False), repeats)
+    t_acc = _time(lambda: ssim(reference, test, accelerated=True), repeats)
+    return {
+        "config": {"shape": list(reference.shape)},
+        "reference_ms": t_ref * 1e3,
+        "accelerated_ms": t_acc * 1e3,
+        "speedup": t_ref / t_acc,
+        "parity": {
+            "value_deviation": abs(acc_value - ref_value),
+            "map_bit_exact": exact,
+            "ok": exact,
+        },
+    }
+
+
+def bench_flip(quick: bool, repeats: int) -> Dict[str, object]:
+    reference, test = _metric_pair(quick)
+    ref_value = flip(reference, test, accelerated=False)
+    acc_value = flip(reference, test, accelerated=True)
+    exact = bool(
+        np.array_equal(
+            flip(reference, test, full=True, accelerated=False),
+            flip(reference, test, full=True, accelerated=True),
+        )
+    )
+    t_ref = _time(lambda: flip(reference, test, accelerated=False), repeats)
+    t_acc = _time(lambda: flip(reference, test, accelerated=True), repeats)
+    return {
+        "config": {"shape": list(reference.shape)},
+        "reference_ms": t_ref * 1e3,
+        "accelerated_ms": t_acc * 1e3,
+        "speedup": t_ref / t_acc,
+        "parity": {
+            "value_deviation": abs(acc_value - ref_value),
+            "map_bit_exact": exact,
+            "ok": exact,
+        },
+    }
+
+
+def bench_switchboard(quick: bool, repeats: int) -> Dict[str, object]:
+    history = 256 if quick else 4096
+    topic = Topic("bench", history=history)
+    for i in range(history):
+        topic.put(float(i), i)
+    queries = np.linspace(0.0, float(history), 512)
+
+    def linear_scan(when: float):
+        for event in reversed(list(topic.history())):
+            if event.publish_time <= when:
+                return event
+        return None
+
+    mismatches = sum(
+        1
+        for q in queries
+        if (topic.get_latest_before(q) or None) is not (linear_scan(q) or None)
+        and getattr(topic.get_latest_before(q), "data", None)
+        != getattr(linear_scan(q), "data", None)
+    )
+    t_ref = _time(lambda: [linear_scan(q) for q in queries], repeats)
+    t_acc = _time(lambda: [topic.get_latest_before(q) for q in queries], repeats)
+    return {
+        "config": {"history": history, "queries": len(queries)},
+        "reference_ms": t_ref * 1e3,
+        "accelerated_ms": t_acc * 1e3,
+        "speedup": t_ref / t_acc,
+        "parity": {"query_mismatches": mismatches, "ok": mismatches == 0},
+    }
+
+
+def _hologram_parity_sweep(seed: int) -> float:
+    """Max phase deviation for one seeded target set (parallel_map worker)."""
+    n, depths = 64, (0.05, 0.12)
+    targets = _focal_targets(n, len(depths), seed=seed)
+    reference = WeightedGerchbergSaxton(resolution=n, depths_m=depths, accelerated=False)
+    accelerated = WeightedGerchbergSaxton(resolution=n, depths_m=depths, accelerated=True)
+    ref = reference.solve(targets, iterations=5, seed=seed)
+    acc = accelerated.solve(targets, iterations=5, seed=seed)
+    return float(np.abs(acc.phase - ref.phase).max())
+
+
+BENCHES = {
+    "hologram.solve": bench_hologram,
+    "tsdf.integrate": bench_tsdf,
+    "metrics.ssim": bench_ssim,
+    "metrics.flip": bench_flip,
+    "switchboard.get_latest_before": bench_switchboard,
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true", help="tiny smoke config (~seconds)")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hotpaths.json",
+        help="output path (default: BENCH_hotpaths.json at the repo root)",
+    )
+    parser.add_argument(
+        "--sweep-processes",
+        type=int,
+        default=1,
+        help="worker processes for the parity seed sweep (parallel_map)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (1 if args.quick else 5)
+
+    enable_profiling(True)
+    results: Dict[str, object] = {}
+    for name, bench in BENCHES.items():
+        results[name] = bench(args.quick, repeats)
+        entry = results[name]
+        print(
+            f"{name:34s} ref {entry['reference_ms']:9.2f} ms   "
+            f"acc {entry['accelerated_ms']:9.2f} ms   "
+            f"{entry['speedup']:5.2f}x   parity_ok={entry['parity']['ok']}"
+        )
+
+    # Per-seed parity sweep for the most numerically delicate kernel (WGS
+    # iterations amplify 1-ulp reassociation noise); parallel_map degrades
+    # to sequential on single-core or sandboxed platforms.
+    seeds = list(range(2 if args.quick else 6))
+    deviations = parallel_map(_hologram_parity_sweep, seeds, processes=args.sweep_processes)
+    sweep_ok = bool(max(deviations) <= 1e-8)
+    print(f"hologram parity sweep over {len(seeds)} seeds: max deviation {max(deviations):.2e}")
+
+    payload = {
+        "schema": "bench_hotpaths/v1",
+        "quick": args.quick,
+        "repeats": repeats,
+        "kernels": results,
+        "hologram_parity_sweep": {
+            "seeds": seeds,
+            "iterations": 5,
+            "max_phase_deviation": max(deviations),
+            "ok": sweep_ok,
+        },
+        "profile": profile_summary(reset=True),
+    }
+    args.json.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.json}")
+
+    parity_ok = sweep_ok and all(entry["parity"]["ok"] for entry in results.values())
+    if not parity_ok:
+        print("PARITY FAILURE: accelerated kernels deviate from reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,45 @@ from typing import Any, Callable, Deque, Dict, Generic, Iterator, List, Optional
 T = TypeVar("T")
 
 
+class _RingBuffer(Generic[T]):
+    """Fixed-capacity append-only ring with O(1) random access.
+
+    ``collections.deque`` indexes from the nearer end in O(distance), which
+    turns a binary search over the history into O(n log n); a flat list
+    with a rotating start keeps every probe O(1).
+    """
+
+    __slots__ = ("_items", "_capacity", "_start", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        self._items: List[Any] = [None] * capacity
+        self._capacity = capacity
+        self._start = 0
+        self._size = 0
+
+    def append(self, item: T) -> None:
+        if self._size < self._capacity:
+            self._items[(self._start + self._size) % self._capacity] = item
+            self._size += 1
+        else:  # full: overwrite the oldest slot
+            self._items[self._start] = item
+            self._start = (self._start + 1) % self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int) -> T:
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(index)
+        return self._items[(self._start + index) % self._capacity]
+
+    def __iter__(self) -> Iterator[T]:
+        for offset in range(self._size):
+            yield self._items[(self._start + offset) % self._capacity]
+
+
 @dataclass(frozen=True)
 class StampedEvent(Generic[T]):
     """A value published on a topic, stamped with its publication time.
@@ -47,7 +86,7 @@ class Topic(Generic[T]):
         if history < 1:
             raise ValueError(f"history must be >= 1, got {history}")
         self.name = name
-        self._history: Deque[StampedEvent[T]] = deque(maxlen=history)
+        self._history: _RingBuffer[StampedEvent[T]] = _RingBuffer(history)
         self._sequence = 0
         self._queues: List[Deque[StampedEvent[T]]] = []
         self._callbacks: List[Callable[[StampedEvent[T]], None]] = []
@@ -73,11 +112,22 @@ class Topic(Generic[T]):
         return self._history[-1] if self._history else None
 
     def get_latest_before(self, time: float) -> Optional[StampedEvent[T]]:
-        """The most recent event published at or before ``time``."""
-        for event in reversed(self._history):
-            if event.publish_time <= time:
-                return event
-        return None
+        """The most recent event published at or before ``time``.
+
+        Publish times are append-ordered (``put`` enforces monotonicity),
+        so this is a bisect over the retained ring — O(log n) instead of
+        the linear reverse scan it replaces.  Among equal publish times the
+        latest-published event wins, matching the old scan.
+        """
+        history = self._history
+        lo, hi = 0, len(history)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if history[mid].publish_time <= time:
+                lo = mid + 1
+            else:
+                hi = mid
+        return history[lo - 1] if lo else None
 
     def subscribe_queue(self) -> "SyncReader[T]":
         """Synchronous read: a reader that sees every subsequent event."""

@@ -4,6 +4,17 @@ The standard formulation: an 11x11 Gaussian window (sigma 1.5), stability
 constants C1 = (0.01 L)^2 and C2 = (0.03 L)^2, mean SSIM over the image.
 Color images are averaged over channels (as the paper's analysis scripts
 do for the Table V numbers).
+
+The accelerated path (default) stacks the five filtered fields (mu_x,
+mu_y, E[x^2], E[y^2], E[xy]) into one array and issues a **single**
+``gaussian_filter`` call per image (per channel for color inputs) with
+sigma 0 on the stack axis.  A sigma-0 axis is filtered with the identity
+kernel, so every slice receives exactly the arithmetic of the per-channel
+reference path and the result is bit-identical (asserted by the parity
+tests).  Color channels are batched per channel rather than as one 4-D
+stack: a (5, H, W, C) array exceeds cache and filters along strided
+lines, which measures *slower* than five 2-D calls on small images.
+``accelerated=False`` selects the original per-channel recursion.
 """
 
 from __future__ import annotations
@@ -11,13 +22,28 @@ from __future__ import annotations
 import numpy as np
 from scipy.ndimage import gaussian_filter
 
+from repro.perf import profiled
 
+_TRUNCATE = 3.5  # ~11x11 support at sigma=1.5
+
+
+def _validate(reference: np.ndarray, test: np.ndarray, data_range: float) -> None:
+    if reference.shape != test.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {test.shape}")
+    if data_range <= 0:
+        raise ValueError("data_range must be positive")
+    if reference.ndim not in (2, 3):
+        raise ValueError(f"expected 2-D or 3-D image, got shape {reference.shape}")
+
+
+@profiled("metrics.ssim")
 def ssim(
     reference: np.ndarray,
     test: np.ndarray,
     data_range: float = 1.0,
     sigma: float = 1.5,
     full: bool = False,
+    accelerated: bool = True,
 ):
     """Mean SSIM between two images in [0, data_range].
 
@@ -26,32 +52,73 @@ def ssim(
     """
     reference = np.asarray(reference, dtype=float)
     test = np.asarray(test, dtype=float)
-    if reference.shape != test.shape:
-        raise ValueError(f"shape mismatch: {reference.shape} vs {test.shape}")
-    if data_range <= 0:
-        raise ValueError("data_range must be positive")
+    _validate(reference, test, data_range)
+    if not accelerated:
+        return _ssim_reference(reference, test, data_range, sigma, full)
     if reference.ndim == 3:
         maps = [
-            ssim(reference[..., c], test[..., c], data_range, sigma, full=True)
+            ssim(
+                np.ascontiguousarray(reference[..., c]),
+                np.ascontiguousarray(test[..., c]),
+                data_range,
+                sigma,
+                full=True,
+                accelerated=True,
+            )
             for c in range(reference.shape[2])
         ]
         stacked = np.stack(maps, axis=-1)
         return stacked if full else float(stacked.mean())
-    if reference.ndim != 2:
-        raise ValueError(f"expected 2-D or 3-D image, got shape {reference.shape}")
 
     c1 = (0.01 * data_range) ** 2
     c2 = (0.03 * data_range) ** 2
-    truncate = 3.5  # ~11x11 support at sigma=1.5
 
-    mu_x = gaussian_filter(reference, sigma, truncate=truncate)
-    mu_y = gaussian_filter(test, sigma, truncate=truncate)
+    # One batched filter call: the five fields stacked on a sigma-0 axis.
+    stack = np.stack(
+        [reference, test, reference * reference, test * test, reference * test]
+    )
+    filtered = gaussian_filter(stack, (0.0, sigma, sigma), truncate=_TRUNCATE)
+    mu_x, mu_y = filtered[0], filtered[1]
     mu_x2 = mu_x * mu_x
     mu_y2 = mu_y * mu_y
     mu_xy = mu_x * mu_y
-    sigma_x2 = gaussian_filter(reference * reference, sigma, truncate=truncate) - mu_x2
-    sigma_y2 = gaussian_filter(test * test, sigma, truncate=truncate) - mu_y2
-    sigma_xy = gaussian_filter(reference * test, sigma, truncate=truncate) - mu_xy
+    sigma_x2 = filtered[2] - mu_x2
+    sigma_y2 = filtered[3] - mu_y2
+    sigma_xy = filtered[4] - mu_xy
+
+    numerator = (2 * mu_xy + c1) * (2 * sigma_xy + c2)
+    denominator = (mu_x2 + mu_y2 + c1) * (sigma_x2 + sigma_y2 + c2)
+    ssim_map = numerator / denominator
+    return ssim_map if full else float(ssim_map.mean())
+
+
+def _ssim_reference(
+    reference: np.ndarray,
+    test: np.ndarray,
+    data_range: float,
+    sigma: float,
+    full: bool,
+):
+    """Original implementation: per-channel recursion, five filter calls."""
+    if reference.ndim == 3:
+        maps = [
+            _ssim_reference(reference[..., c], test[..., c], data_range, sigma, full=True)
+            for c in range(reference.shape[2])
+        ]
+        stacked = np.stack(maps, axis=-1)
+        return stacked if full else float(stacked.mean())
+
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+
+    mu_x = gaussian_filter(reference, sigma, truncate=_TRUNCATE)
+    mu_y = gaussian_filter(test, sigma, truncate=_TRUNCATE)
+    mu_x2 = mu_x * mu_x
+    mu_y2 = mu_y * mu_y
+    mu_xy = mu_x * mu_y
+    sigma_x2 = gaussian_filter(reference * reference, sigma, truncate=_TRUNCATE) - mu_x2
+    sigma_y2 = gaussian_filter(test * test, sigma, truncate=_TRUNCATE) - mu_y2
+    sigma_xy = gaussian_filter(reference * test, sigma, truncate=_TRUNCATE) - mu_xy
 
     numerator = (2 * mu_xy + c1) * (2 * sigma_xy + c2)
     denominator = (mu_x2 + mu_y2 + c1) * (sigma_x2 + sigma_y2 + c2)

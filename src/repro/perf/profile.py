@@ -1,0 +1,101 @@
+"""Opt-in wall-clock profiling of the accelerated kernels.
+
+Profiling is disabled by default so the hooks cost one attribute load and a
+branch per call.  When enabled (``enable_profiling()``), every ``@profiled``
+function and every ``span(...)`` block records wall time into a process-wide
+registry that ``profile_summary()`` renders as plain dictionaries — the same
+shape ``benchmarks/perf_harness.py`` writes into ``BENCH_hotpaths.json``.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+_enabled = False
+_records: Dict[str, Dict[str, float]] = {}
+
+
+def enable_profiling(on: bool = True) -> None:
+    """Globally switch the ``@profiled`` / ``span`` hooks on or off."""
+    global _enabled
+    _enabled = on
+
+
+def profiling_enabled() -> bool:
+    """Whether the hooks are currently recording."""
+    return _enabled
+
+
+def reset_profile() -> None:
+    """Discard all recorded samples."""
+    _records.clear()
+
+
+def _record(name: str, elapsed: float) -> None:
+    stats = _records.get(name)
+    if stats is None:
+        _records[name] = {
+            "calls": 1,
+            "total_s": elapsed,
+            "min_s": elapsed,
+            "max_s": elapsed,
+        }
+    else:
+        stats["calls"] += 1
+        stats["total_s"] += elapsed
+        stats["min_s"] = min(stats["min_s"], elapsed)
+        stats["max_s"] = max(stats["max_s"], elapsed)
+
+
+@contextmanager
+def span(name: str) -> Iterator[None]:
+    """Record the wall time of a ``with`` block under ``name`` (when enabled)."""
+    if not _enabled:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        _record(name, time.perf_counter() - start)
+
+
+def profiled(name_or_fn: Optional[Callable[..., Any] | str] = None) -> Callable[..., Any]:
+    """Decorator recording each call's wall time under the function's name.
+
+    Usable bare (``@profiled``) or with an explicit registry name
+    (``@profiled("hologram.solve")``).
+    """
+
+    def decorate(fn: Callable[..., Any], name: Optional[str] = None) -> Callable[..., Any]:
+        label = name or f"{fn.__module__.rsplit('.', 1)[-1]}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _enabled:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                _record(label, time.perf_counter() - start)
+
+        return wrapper
+
+    if callable(name_or_fn):
+        return decorate(name_or_fn)
+    return lambda fn: decorate(fn, name_or_fn)
+
+
+def profile_summary(reset: bool = False) -> Dict[str, Dict[str, float]]:
+    """Per-name call counts and wall-time aggregates (mean derived)."""
+    summary = {
+        name: {**stats, "mean_s": stats["total_s"] / stats["calls"]}
+        for name, stats in _records.items()
+    }
+    if reset:
+        reset_profile()
+    return summary

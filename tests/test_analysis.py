@@ -55,6 +55,7 @@ def test_run_integrated_full_collects_trajectory():
     assert ate.rmse_m < 0.2
 
 
+@pytest.mark.slow
 def test_vio_ablation_shape():
     standard, high = vio_accuracy_ablation(duration_s=5.0)
     assert high.ate_cm < standard.ate_cm           # more features, less drift

@@ -26,6 +26,7 @@ def test_quickstart(monkeypatch, capsys):
     assert "vio" in out
 
 
+@pytest.mark.slow
 def test_platform_comparison(monkeypatch, capsys):
     out = _run_example(monkeypatch, capsys, "platform_comparison.py", ["ar_demo", "2"])
     assert "Jetson-LP" in out
@@ -49,12 +50,14 @@ def test_spatial_audio(monkeypatch, capsys, tmp_path):
     assert header[:4] == b"RIFF" and header[8:12] == b"WAVE"
 
 
+@pytest.mark.slow
 def test_offload_vio(monkeypatch, capsys):
     out = _run_example(monkeypatch, capsys, "offload_vio.py", ["2"])
     assert "offloaded" in out
     assert "round trip" in out
 
 
+@pytest.mark.slow
 def test_full_xr_system(monkeypatch, capsys, tmp_path):
     ply = os.path.join(tmp_path, "map.ply")
     out = _run_example(monkeypatch, capsys, "full_xr_system.py", ["1.5", ply])

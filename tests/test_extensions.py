@@ -303,6 +303,7 @@ def test_offload_comparison_structure():
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_analysis_cli_static_tables_only(tmp_path, monkeypatch, capsys):
     """Exercise the CLI argument parsing + static-table path cheaply by
     running the full quick pipeline on a tiny grid via monkeypatching."""

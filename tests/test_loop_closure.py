@@ -86,6 +86,7 @@ def test_database_no_match_on_first_pass(camera):
         assert match is None  # nothing revisited yet
 
 
+@pytest.mark.slow
 def test_pipeline_loop_closure_causes_time_spike(camera):
     """The §IV-B1 observation: loop-closure frames cost several times the
     median frame."""
@@ -98,9 +99,13 @@ def test_pipeline_loop_closure_causes_time_spike(camera):
         (closure_times if result.loop_closure else times).append(result.frame_time_s)
     assert pipeline.loop_closures >= 1
     assert closure_times
-    assert min(closure_times) > 3 * np.median(times)
+    # The spike factor shrank when TSDF fusion gained frustum culling (the
+    # re-integration surcharge is exactly the accelerated kernel), so the
+    # bound is 2x: closure frames must still clearly dominate the median.
+    assert min(closure_times) > 2 * np.median(times)
 
 
+@pytest.mark.slow
 def test_pipeline_loop_closure_can_be_disabled(camera):
     pipeline = ReconstructionPipeline(camera, enable_loop_closure=False)
     n = 40

@@ -101,6 +101,43 @@ def test_async_history_keeps_only_latest_n():
     assert [e.data for e in topic.history()] == [7, 8, 9]
 
 
+def test_get_latest_before_after_ring_eviction():
+    """The bisect must stay correct once the ring has wrapped: events
+    older than the retained window are gone, so queries before the oldest
+    surviving event return None, not a stale entry."""
+    topic = Topic("t", history=4)
+    for i in range(10):
+        topic.put(float(i), i)
+    # Retained window is publish times 6..9.
+    assert topic.get_latest_before(5.9) is None          # older than window
+    assert topic.get_latest_before(6.0).data == 6        # oldest boundary
+    assert topic.get_latest_before(7.5).data == 7        # interior
+    assert topic.get_latest_before(9.0).data == 9        # newest boundary
+    assert topic.get_latest_before(100.0).data == 9      # beyond newest
+
+
+def test_get_latest_before_equal_times_returns_latest():
+    topic = Topic("t", history=3)
+    topic.put(1.0, "a")
+    topic.put(2.0, "b")
+    topic.put(2.0, "c")
+    assert topic.get_latest_before(2.0).data == "c"
+
+
+def test_get_latest_before_matches_linear_scan():
+    topic = Topic("t", history=16)
+    times = [0.0, 0.5, 0.5, 1.25, 2.0, 2.0, 2.0, 3.5]
+    for i, t in enumerate(times):
+        topic.put(t, i)
+    for query in (-1.0, 0.0, 0.4, 0.5, 1.0, 2.0, 2.1, 3.5, 9.0):
+        expected = None
+        for event in topic.history():
+            if event.publish_time <= query:
+                expected = event
+        got = topic.get_latest_before(query)
+        assert got is expected, f"query {query}"
+
+
 def test_callback_invoked_on_publish():
     topic = Topic("t")
     seen = []

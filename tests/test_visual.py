@@ -280,6 +280,24 @@ def test_wgs_converges_toward_targets(hologram_solver):
     assert 0.0 <= many.uniformity <= 1.0
 
 
+def test_wgs_uniformity_non_decreasing():
+    """The point of the *weighted* GS variant: per-plane weighting drives
+    inter-plane uniformity up across iterations.  Solved repeatedly with
+    the same seed, the trajectory must never dip more than numerical
+    jitter near convergence, and must improve overall."""
+    solver = WeightedGerchbergSaxton(resolution=64, depths_m=(0.05, 0.12))
+    targets = [np.zeros((64, 64)), np.zeros((64, 64))]
+    targets[0][12:28, 12:28] = 1.0   # near-plane square
+    targets[1][36:52, 36:52] = 1.0   # far-plane square, disjoint
+    uniformities = [
+        solver.solve(targets, iterations=k, seed=0).uniformity
+        for k in range(1, 9)
+    ]
+    for earlier, later in zip(uniformities, uniformities[1:]):
+        assert later >= earlier - 5e-3
+    assert uniformities[-1] > uniformities[0]
+
+
 def test_wgs_phase_output_range(hologram_solver):
     result = hologram_solver.solve(_targets(hologram_solver), iterations=2)
     assert result.phase.shape == (64, 64)
