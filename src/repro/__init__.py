@@ -26,6 +26,9 @@ This package reimplements the complete system in Python:
 - :mod:`repro.metrics` -- MTP, SSIM, FLIP, and trajectory-error metrics.
 - :mod:`repro.analysis` -- experiment drivers regenerating every table and
   figure of the paper's evaluation.
+- :mod:`repro.resilience` -- runtime supervision (crash/hang handling,
+  quarantine, dead-letter routing) and deterministic fault injection for
+  chaos testing.
 """
 
 from typing import Any
@@ -50,6 +53,10 @@ _EXPORTS = {
     "run_integrated": ("repro.analysis.experiments", "run_integrated"),
     "run_matrix": ("repro.analysis.experiments", "run_matrix"),
     "evaluate_image_quality": ("repro.metrics.qoe", "evaluate_image_quality"),
+    "FaultPlan": ("repro.resilience.faults", "FaultPlan"),
+    "RuntimeSupervisor": ("repro.resilience.supervisor", "RuntimeSupervisor"),
+    "SupervisorConfig": ("repro.resilience.supervisor", "SupervisorConfig"),
+    "CANNED_PLANS": ("repro.resilience.plans", "CANNED_PLANS"),
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

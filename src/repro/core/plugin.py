@@ -133,6 +133,15 @@ class Plugin:
     def finalize(self) -> None:
         """Hook called once when the run ends (e.g. flush buffered state)."""
 
+    def reset(self, reason: Optional[BaseException] = None) -> None:
+        """Hook called by the supervisor before retrying a crashed invocation.
+
+        A restart is allowed to lose in-memory state (that is the point:
+        it models relaunching the component process).  Subclasses with
+        internal estimators should drop them here so the retry starts
+        from a clean slate; the default keeps everything.
+        """
+
     @property
     def deadline(self) -> Optional[float]:
         """The per-invocation deadline implied by the trigger, if periodic."""

@@ -31,6 +31,9 @@ class InvocationRecord:
     deadline: Optional[float]
     missed_deadline: bool
     dropped: bool = False
+    # True when the supervisor's watchdog reaped a hung invocation; such
+    # records carry no cost (their CPU/GPU slots were reclaimed).
+    killed: bool = False
 
     @property
     def wall_time(self) -> float:
@@ -75,14 +78,18 @@ class RecordLogger:
         return sorted({r.plugin for r in self.records})
 
     def frame_rate(self, plugin: str, duration: float) -> float:
-        """Achieved frames per second over ``duration`` seconds."""
+        """Achieved frames per second over ``duration`` seconds.
+
+        Watchdog-killed invocations produced no output and do not count
+        as frames.
+        """
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration}")
-        return len(self.for_plugin(plugin)) / duration
+        return sum(1 for r in self.for_plugin(plugin) if not r.killed) / duration
 
     def execution_times(self, plugin: str) -> List[float]:
-        """Per-invocation wall times for ``plugin``."""
-        return [r.wall_time for r in self.for_plugin(plugin)]
+        """Per-invocation wall times for ``plugin`` (completed only)."""
+        return [r.wall_time for r in self.for_plugin(plugin) if not r.killed]
 
     def mean_execution_time(self, plugin: str) -> float:
         """Mean wall time; NaN if the plugin never ran."""
@@ -127,6 +134,10 @@ class RecordLogger:
     def drop_count(self, plugin: str) -> int:
         """Number of skipped ticks for ``plugin``."""
         return sum(1 for d in self.drops if d.plugin == plugin)
+
+    def kill_count(self, plugin: str) -> int:
+        """Number of invocations the watchdog reaped for ``plugin``."""
+        return sum(1 for r in self.records if r.plugin == plugin and r.killed)
 
 
 def mean_std(values: Sequence[float]) -> tuple[float, float]:

@@ -15,7 +15,7 @@ breakdown.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SystemConfig
@@ -57,6 +57,10 @@ class RuntimeResult:
     vio_trajectory: List[Tuple[float, VioEstimate]]
     fast_pose_count: int
     trajectory: TrajectorySpline
+    # Resilience artifacts (None on unsupervised runs): the supervision
+    # report and the fault injector's event-level injection log.
+    supervision: Optional[Dict[str, object]] = None
+    fault_log: List[object] = field(default_factory=list)
 
     def frame_rate(self, plugin: str) -> float:
         """Achieved frame rate of one plugin over the run (Fig. 3)."""
@@ -83,7 +87,7 @@ class RuntimeResult:
         """A JSON-serializable metrics snapshot (the paper artifact's
         ``results/metrics/metrics-<hardware>-<app>`` equivalent)."""
         mtp = self.mtp_summary()
-        return {
+        summary: Dict[str, object] = {
             "platform": self.platform.key,
             "app": self.app_name,
             "duration_s": self.duration,
@@ -107,6 +111,11 @@ class RuntimeResult:
             "vio_estimates": len(self.vio_trajectory),
             "fast_pose_count": self.fast_pose_count,
         }
+        summary["mtp_ms"]["degraded_fraction"] = mtp.degraded_fraction
+        if self.supervision is not None:
+            summary["supervision"] = self.supervision
+            summary["faults_injected"] = len(self.fault_log)
+        return summary
 
     def save_metrics(self, path: str) -> None:
         """Write :meth:`summary` as JSON."""
@@ -128,6 +137,8 @@ class Runtime:
         trajectory: TrajectorySpline,
         timing: Optional[TimingModel] = None,
         dilation: Optional[Dict[str, float]] = None,
+        fault_plan=None,
+        supervision=None,
     ) -> None:
         self.platform = platform
         self.config = config
@@ -139,6 +150,22 @@ class Runtime:
         self.phonebook = Phonebook()
         self.logger = RecordLogger()
         self.timing = timing or TimingModel(platform, seed=config.seed)
+        # Resilience layer (repro.resilience): a fault plan implies
+        # supervision (chaos without a supervisor would just crash the
+        # engine); with neither, every hook stays on its zero-cost path.
+        self.fault_plan = fault_plan
+        self.supervisor = None
+        if fault_plan is not None or supervision is not None:
+            from repro.resilience.supervisor import RuntimeSupervisor, SupervisorConfig
+
+            if isinstance(supervision, RuntimeSupervisor):
+                self.supervisor = supervision
+            else:
+                self.supervisor = RuntimeSupervisor(supervision or SupervisorConfig())
+            self.supervisor.attach(self.switchboard, self.engine)
+        if fault_plan is not None:
+            fault_plan.begin_run(self.engine)
+            self.switchboard.install_injector(fault_plan)
         self.scheduler = Scheduler(
             self.engine,
             platform,
@@ -147,6 +174,8 @@ class Runtime:
             self.logger,
             app_name=app_name,
             dilation=dilation,
+            injector=fault_plan,
+            supervisor=self.supervisor,
         )
         self.phonebook.register("engine", self.engine)
         self.phonebook.register("platform", platform)
@@ -200,6 +229,8 @@ class Runtime:
             vio_trajectory=vio_log,
             fast_pose_count=fast_pose_count[0],
             trajectory=self.trajectory,
+            supervision=self.supervisor.report() if self.supervisor is not None else None,
+            fault_log=list(self.fault_plan.log) if self.fault_plan is not None else [],
         )
 
 
@@ -208,8 +239,16 @@ def build_runtime(
     app_name: str = "sponza",
     config: Optional[SystemConfig] = None,
     trajectory: Optional[TrajectorySpline] = None,
+    fault_plan=None,
+    supervision=None,
 ) -> Runtime:
-    """Assemble the paper's integrated system configuration (§III-B)."""
+    """Assemble the paper's integrated system configuration (§III-B).
+
+    ``fault_plan`` (a :class:`repro.resilience.FaultPlan`) and
+    ``supervision`` (a :class:`repro.resilience.SupervisorConfig` or a
+    prebuilt supervisor) opt the run into the resilience layer; both
+    default to off, leaving the hot paths untouched.
+    """
     config = config or SystemConfig()
     scene: Scene = scene_by_name(app_name)
     trajectory = trajectory or lab_walk_trajectory(
@@ -241,4 +280,13 @@ def build_runtime(
         AudioEncodingPlugin(config),
         AudioPlaybackPlugin(config),
     ]
-    return Runtime(platform, config, app_name, plugins, trajectory, timing=timing)
+    return Runtime(
+        platform,
+        config,
+        app_name,
+        plugins,
+        trajectory,
+        timing=timing,
+        fault_plan=fault_plan,
+        supervision=supervision,
+    )

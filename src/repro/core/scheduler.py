@@ -31,7 +31,7 @@ from repro.core.records import InvocationRecord, RecordLogger
 from repro.core.switchboard import Switchboard
 from repro.hardware.platform import Platform
 from repro.hardware.timing import TimingModel
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, Interrupt
 from repro.sim.resources import Resource
 
 
@@ -59,6 +59,8 @@ class Scheduler:
         logger: RecordLogger,
         app_name: Optional[str] = None,
         dilation: Optional[Dict[str, float]] = None,
+        injector=None,
+        supervisor=None,
     ) -> None:
         self.engine = engine
         self.platform = platform
@@ -66,6 +68,10 @@ class Scheduler:
         self.switchboard = switchboard
         self.logger = logger
         self.app_name = app_name
+        # Resilience hooks (repro.resilience): both default to None, in
+        # which case every hook below is one attribute load and a branch.
+        self.injector = injector
+        self.supervisor = supervisor
         self.cpu = Resource(engine, platform.cpu_cores, name="cpu")
         self.gpu = Resource(engine, platform.gpu_concurrency, name="gpu")
         # GPU preemption granularity (draw-call/kernel boundary timeslice).
@@ -108,13 +114,16 @@ class Scheduler:
             scheduled = tick * period
             if scheduled > self.engine.now:
                 yield self.engine.timeout(scheduled - self.engine.now)
+            if self.supervisor is not None and self.supervisor.is_quarantined(plugin.name):
+                # Quarantine is terminal: stop driving (and stop logging
+                # drops -- a dead plugin must not inflate drop counts).
+                return
             if self._busy[plugin.name]:
                 self.logger.log_drop(plugin.name, scheduled)
             else:
                 self._busy[plugin.name] = True
-                self.engine.process(
-                    self._invocation(plugin, scheduled, deadline=period),
-                    name=f"{plugin.name}#{tick}",
+                self._spawn(
+                    plugin, scheduled, deadline=period, name=f"{plugin.name}#{tick}"
                 )
             tick += 1
 
@@ -126,16 +135,19 @@ class Scheduler:
             start_at = vsync - trigger.lead
             if start_at > self.engine.now:
                 yield self.engine.timeout(start_at - self.engine.now)
+            if self.supervisor is not None and self.supervisor.is_quarantined(plugin.name):
+                return
             if self._busy[plugin.name]:
                 self.logger.log_drop(plugin.name, start_at)
             else:
                 # Deadline = the lead: finishing after it means the vsync
                 # was missed and the frame slips to the next one.
                 self._busy[plugin.name] = True
-                self.engine.process(
-                    self._invocation(
-                        plugin, start_at, deadline=trigger.lead, vsync_period=period
-                    ),
+                self._spawn(
+                    plugin,
+                    start_at,
+                    deadline=trigger.lead,
+                    vsync_period=period,
                     name=f"{plugin.name}#{tick}",
                 )
             tick += 1
@@ -144,20 +156,104 @@ class Scheduler:
         topic = self.switchboard.topic(trigger.topic)
 
         def on_publish(_event) -> None:
+            if self.supervisor is not None and self.supervisor.is_quarantined(plugin.name):
+                return
             if self._busy[plugin.name]:
                 self.logger.log_drop(plugin.name, self.engine.now)
             else:
                 self._busy[plugin.name] = True
-                self.engine.process(
-                    self._invocation(plugin, self.engine.now, deadline=None, trigger_event=_event),
+                self._spawn(
+                    plugin,
+                    self.engine.now,
+                    deadline=None,
+                    trigger_event=_event,
                     name=f"{plugin.name}@{self.engine.now:.4f}",
                 )
 
         topic.subscribe_callback(on_publish)
 
+    def _spawn(
+        self,
+        plugin: Plugin,
+        scheduled_at: float,
+        deadline: Optional[float],
+        vsync_period: Optional[float] = None,
+        trigger_event=None,
+        name: str = "",
+    ) -> None:
+        """Launch one invocation process, arming the watchdog if supervised."""
+        process = self.engine.process(
+            self._invocation(
+                plugin, scheduled_at, deadline, vsync_period=vsync_period, trigger_event=trigger_event
+            ),
+            name=name,
+        )
+        supervisor = self.supervisor
+        if supervisor is None:
+            return
+        timeout = supervisor.watchdog_timeout(deadline)
+
+        def watchdog_check() -> None:
+            if process.is_alive:
+                supervisor.record_failure(
+                    plugin.name,
+                    self.engine.now,
+                    TimeoutError(f"hung > {timeout:.4f}s"),
+                    kind="hang",
+                )
+                process.interrupt("watchdog")
+
+        self.engine.call_later(timeout, watchdog_check)
+
     # ------------------------------------------------------------------
     # One invocation
     # ------------------------------------------------------------------
+
+    def _run_iteration(self, plugin: Plugin, index: int, trigger_event):
+        """Run ``plugin.iteration`` under supervision (crash/retry/quarantine).
+
+        Returns the :class:`IterationResult`, or None when the invocation
+        was abandoned (quarantined, or retries exhausted).  Unsupervised,
+        this is exactly one ``iteration`` call and exceptions propagate.
+        """
+        injector = self.injector
+        supervisor = self.supervisor
+        skew = injector.clock_skew(plugin.component) if injector is not None else 0.0
+        attempt = 0
+        while True:
+            ctx = InvocationContext(
+                now=self.engine.now + skew, index=index, trigger_event=trigger_event
+            )
+            try:
+                if injector is not None:
+                    injector.check_crash(plugin.name, index, self.engine.now, attempt)
+                result = plugin.iteration(ctx)
+            except Interrupt:
+                raise
+            except Exception as exc:
+                if supervisor is None:
+                    self._busy[plugin.name] = False
+                    raise
+                action = supervisor.record_failure(plugin.name, self.engine.now, exc)
+                if (
+                    action == "quarantine"
+                    or attempt >= supervisor.config.max_retries_per_invocation
+                ):
+                    if trigger_event is not None:
+                        # Poison event: route it to the dead-letter topic
+                        # instead of killing (or crash-looping) the reader.
+                        supervisor.dead_letter(plugin.name, self.engine.now, trigger_event, exc)
+                    return None
+                delay = supervisor.backoff_delay(plugin.name)
+                supervisor.record_retry(plugin.name, self.engine.now, delay)
+                if delay > 0:
+                    yield self.engine.timeout(delay)
+                plugin.reset(exc)
+                attempt += 1
+                continue
+            if supervisor is not None:
+                supervisor.on_success(plugin.name)
+            return result
 
     def _invocation(
         self,
@@ -172,66 +268,106 @@ class Scheduler:
         index = self._indices[plugin.name]
         self._indices[plugin.name] += 1
         start = self.engine.now
-        ctx = InvocationContext(now=start, index=index, trigger_event=trigger_event)
-        result: IterationResult = plugin.iteration(ctx)
-        if result.skipped:
+        # Resource slots currently held, so a watchdog kill can reclaim
+        # them (a hung invocation must not leak a CPU core or the GPU).
+        held: list = []
+        try:
+            result: Optional[IterationResult] = yield from self._run_iteration(
+                plugin, index, trigger_event
+            )
+            if result is None or result.skipped:
+                self._busy[plugin.name] = False
+                return
+
+            cost = self.timing.sample(
+                plugin.component,
+                app=self.app_name if plugin.component == "application" else None,
+                complexity=max(result.complexity, 1e-3),
+            )
+            dilation = self.dilation.get(plugin.component, 1.0)
+            if dilation != 1.0:
+                from repro.hardware.timing import CostSample
+
+                cost = CostSample(cost.cpu_time * dilation, cost.gpu_time * dilation)
+
+            # Injected stall: the plugin wedges for N deadline-ticks while
+            # holding no resource (a blocked syscall / driver hiccup).
+            # Long stalls trip the watchdog.
+            if self.injector is not None:
+                stall = self.injector.stall_time(plugin.name, index, self.engine.now, deadline)
+                if stall > 0:
+                    yield self.engine.timeout(stall)
+
+            # CPU phase: occupy one core.
+            request = self.cpu.request()
+            held.append((self.cpu, request))
+            yield request
+            yield self.engine.timeout(cost.cpu_time)
+            self.cpu.release(request)
+            held.pop()
+
+            # GPU phase (if any): occupy the GPU in timeslice quanta so a
+            # high-priority client (the compositor's reprojection context) can
+            # jump in at quantum boundaries instead of waiting out a whole
+            # application frame.
+            if cost.gpu_time > 0:
+                if self.platform.gpu_priority_contexts:
+                    # Discrete GPU: fine-grained timeslicing + priority contexts.
+                    priority = getattr(plugin, "gpu_priority", 0)
+                    quantum = self.gpu_quantum
+                else:
+                    # Integrated GPU: clients yield only at draw-call boundaries,
+                    # and draws scale with scene complexity -- so a heavy app
+                    # blocks the compositor for longer stretches (the Jetsons'
+                    # app-dependent MTP degradation, Table IV).
+                    priority = 0
+                    quantum = max(0.5e-3, cost.gpu_time / 10.0)
+                remaining = cost.gpu_time
+                while remaining > 1e-12:
+                    slice_time = min(remaining, quantum)
+                    gpu_request = self.gpu.request(priority=priority)
+                    held.append((self.gpu, gpu_request))
+                    yield gpu_request
+                    yield self.engine.timeout(slice_time)
+                    self.gpu.release(gpu_request)
+                    held.pop()
+                    remaining -= slice_time
+
+            # Resource-free delay: an offloaded component's remote compute and
+            # network round trip (no local CPU/GPU is held).
+            if result.extra_delay > 0:
+                yield self.engine.timeout(result.extra_delay)
+
+            end = self.engine.now
+            # Output release: vsync-aligned plugins hold results to the vsync.
+            swap_time = end
+            if vsync_period is not None:
+                swap_time = math.ceil(end / vsync_period - 1e-9) * vsync_period
+                if swap_time > end:
+                    yield self.engine.timeout(swap_time - end)
+        except Interrupt:
+            # Watchdog kill: reclaim any held slots, log a killed record
+            # (no cost -- the slots were reclaimed), release the plugin.
+            for resource, pending in held:
+                resource.cancel(pending)
+            self.logger.log(
+                InvocationRecord(
+                    plugin=plugin.name,
+                    component=plugin.component,
+                    pipeline=plugin.pipeline,
+                    index=index,
+                    scheduled_at=scheduled_at,
+                    start=start,
+                    end=self.engine.now,
+                    cpu_time=0.0,
+                    gpu_time=0.0,
+                    deadline=deadline,
+                    missed_deadline=deadline is not None,
+                    killed=True,
+                )
+            )
             self._busy[plugin.name] = False
             return
-
-        cost = self.timing.sample(
-            plugin.component,
-            app=self.app_name if plugin.component == "application" else None,
-            complexity=max(result.complexity, 1e-3),
-        )
-        dilation = self.dilation.get(plugin.component, 1.0)
-        if dilation != 1.0:
-            from repro.hardware.timing import CostSample
-
-            cost = CostSample(cost.cpu_time * dilation, cost.gpu_time * dilation)
-
-        # CPU phase: occupy one core.
-        request = self.cpu.request()
-        yield request
-        yield self.engine.timeout(cost.cpu_time)
-        self.cpu.release(request)
-
-        # GPU phase (if any): occupy the GPU in timeslice quanta so a
-        # high-priority client (the compositor's reprojection context) can
-        # jump in at quantum boundaries instead of waiting out a whole
-        # application frame.
-        if cost.gpu_time > 0:
-            if self.platform.gpu_priority_contexts:
-                # Discrete GPU: fine-grained timeslicing + priority contexts.
-                priority = getattr(plugin, "gpu_priority", 0)
-                quantum = self.gpu_quantum
-            else:
-                # Integrated GPU: clients yield only at draw-call boundaries,
-                # and draws scale with scene complexity -- so a heavy app
-                # blocks the compositor for longer stretches (the Jetsons'
-                # app-dependent MTP degradation, Table IV).
-                priority = 0
-                quantum = max(0.5e-3, cost.gpu_time / 10.0)
-            remaining = cost.gpu_time
-            while remaining > 1e-12:
-                slice_time = min(remaining, quantum)
-                gpu_request = self.gpu.request(priority=priority)
-                yield gpu_request
-                yield self.engine.timeout(slice_time)
-                self.gpu.release(gpu_request)
-                remaining -= slice_time
-
-        # Resource-free delay: an offloaded component's remote compute and
-        # network round trip (no local CPU/GPU is held).
-        if result.extra_delay > 0:
-            yield self.engine.timeout(result.extra_delay)
-
-        end = self.engine.now
-        # Output release: vsync-aligned plugins hold results to the vsync.
-        swap_time = end
-        if vsync_period is not None:
-            swap_time = math.ceil(end / vsync_period - 1e-9) * vsync_period
-            if swap_time > end:
-                yield self.engine.timeout(swap_time - end)
 
         for output in result.outputs:
             self.switchboard.topic(output.topic).put(

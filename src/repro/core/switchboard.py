@@ -90,9 +90,38 @@ class Topic(Generic[T]):
         self._sequence = 0
         self._queues: List[Deque[StampedEvent[T]]] = []
         self._callbacks: List[Callable[[StampedEvent[T]], None]] = []
+        # Fault-injection hook (see repro.resilience.faults).  None in
+        # normal operation: put() then pays one attribute load + branch.
+        self._injector: Optional[Any] = None
 
     def put(self, publish_time: float, data: T, data_time: Optional[float] = None) -> StampedEvent[T]:
-        """Publish ``data`` at ``publish_time``; notify all readers."""
+        """Publish ``data`` at ``publish_time``; notify all readers.
+
+        When a fault injector is installed the publish may be dropped,
+        delayed, duplicated, or corrupted before delivery.  A dropped or
+        delayed publish returns an *undelivered* event (not appended to
+        history, sequence unconsumed) so callers see a consistent shape.
+        """
+        if self._injector is not None:
+            directive = self._injector.on_publish(self, publish_time, data, data_time)
+            if directive is not None:
+                kind, payload = directive
+                if kind == "drop" or kind == "delay":
+                    return StampedEvent(publish_time, data, data_time, self._sequence)
+                if kind == "corrupt":
+                    data = payload
+                elif kind == "duplicate":
+                    self.deliver(publish_time, data, data_time)
+        return self.deliver(publish_time, data, data_time)
+
+    def deliver(self, publish_time: float, data: T, data_time: Optional[float] = None) -> StampedEvent[T]:
+        """Deliver an event to all readers, bypassing fault injection.
+
+        This is the raw delivery path ``put`` uses after injection has had
+        its say; the injector's delayed redelivery and the supervisor's
+        dead-letter/supervision publishes call it directly so control
+        traffic is never itself faulted.
+        """
         if self._history and publish_time < self._history[-1].publish_time:
             raise ValueError(
                 f"topic {self.name!r}: non-monotonic publish time "
@@ -182,11 +211,21 @@ class Switchboard:
 
     _topics: Dict[str, Topic[Any]] = field(default_factory=dict)
 
+    _injector: Optional[Any] = None
+
     def topic(self, name: str, history: int = 128) -> Topic[Any]:
         """Get or create the topic called ``name``."""
         if name not in self._topics:
-            self._topics[name] = Topic(name, history=history)
+            topic = Topic(name, history=history)
+            topic._injector = self._injector
+            self._topics[name] = topic
         return self._topics[name]
+
+    def install_injector(self, injector: Optional[Any]) -> None:
+        """Attach a fault injector to every current and future topic."""
+        self._injector = injector
+        for topic in self._topics.values():
+            topic._injector = injector
 
     def __contains__(self, name: str) -> bool:
         return name in self._topics

@@ -23,6 +23,11 @@ class MtpSample:
     imu_age: float          # age of the pose's IMU sample at warp start
     reprojection_time: float
     swap_wait: float        # wait until the buffer was accepted (vsync)
+    # True when reprojection covered for a degraded upstream: it re-warped
+    # a stale application frame (renderer miss / stall).  The pose side of
+    # degradation shows up as a large ``imu_age`` and is classified by
+    # ``summarize_mtp`` against ``stale_pose_ms``.
+    stale_frame: bool = False
 
     def __post_init__(self) -> None:
         if self.imu_age < 0 or self.reprojection_time < 0 or self.swap_wait < 0:
@@ -50,12 +55,25 @@ class MtpSummary:
     count: int
     vr_target_met_fraction: float   # frames within the 20 ms VR target
     ar_target_met_fraction: float   # frames within the 5 ms AR target
+    # Fraction of frames displayed while the pipeline was degraded: the
+    # warped frame was stale, or the pose behind it was older than the
+    # staleness threshold (e.g. VIO down, integrator coasting).
+    degraded_fraction: float = 0.0
 
 
 def summarize_mtp(
-    samples: Sequence[MtpSample], vr_target_ms: float = 20.0, ar_target_ms: float = 5.0
+    samples: Sequence[MtpSample],
+    vr_target_ms: float = 20.0,
+    ar_target_ms: float = 5.0,
+    stale_pose_ms: float = 50.0,
 ) -> MtpSummary:
-    """Aggregate per-frame MTP samples into a Table IV style summary."""
+    """Aggregate per-frame MTP samples into a Table IV style summary.
+
+    ``stale_pose_ms`` bounds how old a frame's pose may be before the
+    frame counts as *degraded* (together with stale-frame reuse); during
+    fault-induced degradation the MTP numbers stay honest because the
+    stale pose's age is already inside ``imu_age``.
+    """
     if not samples:
         return MtpSummary(math.nan, math.nan, math.nan, math.nan, 0, 0.0, 0.0)
     totals: List[float] = sorted(s.total_ms for s in samples)
@@ -63,6 +81,9 @@ def summarize_mtp(
     mean = sum(totals) / n
     std = math.sqrt(sum((t - mean) ** 2 for t in totals) / n)
     p99 = totals[min(int(0.99 * n), n - 1)]
+    degraded = sum(
+        1 for s in samples if s.stale_frame or s.imu_age * 1e3 > stale_pose_ms
+    )
     return MtpSummary(
         mean_ms=mean,
         std_ms=std,
@@ -71,4 +92,5 @@ def summarize_mtp(
         count=n,
         vr_target_met_fraction=sum(t <= vr_target_ms for t in totals) / n,
         ar_target_met_fraction=sum(t <= ar_target_ms for t in totals) / n,
+        degraded_fraction=degraded / n,
     )

@@ -105,6 +105,17 @@ class VioPlugin(Plugin):
         super().setup(phonebook, switchboard)
         self._imu_reader = switchboard.topic("imu").subscribe_queue()
 
+    def reset(self, reason=None) -> None:
+        """Supervisor restart: relaunch the tracker from scratch.
+
+        A restarted VIO process has no filter state; it re-initializes on
+        the next frame, exactly like the first boot (the temporal parallax
+        built so far is lost -- restarts are not free).
+        """
+        self.filter = None
+        self._last_frame_time = None
+        self._frames_processed = 0
+
     def _ensure_filter(self, now: float) -> Msckf:
         if self.filter is None:
             truth = self.trajectory.sample(now)
@@ -197,10 +208,25 @@ class IntegratorPlugin(Plugin):
         self._integrator: Optional[Rk4Integrator] = None
         self._anchor_timestamp = -1.0
         self._slow_pose_topic = None
+        # Degradation policy: when the supervisor quarantines VIO, keep
+        # the fast path alive with IMU-only RK4 propagation (bootstrapping
+        # from scratch if VIO never produced an anchor).
+        self._vio_down = False
+        self._announced_fallback = False
 
     def setup(self, phonebook: Phonebook, switchboard: Switchboard) -> None:
         super().setup(phonebook, switchboard)
         self._slow_pose_topic = switchboard.topic("slow_pose")
+
+        def on_supervision(event) -> None:
+            notice = event.data
+            if (
+                getattr(notice, "kind", None) == "quarantine"
+                and getattr(notice, "plugin", None) == "vio"
+            ):
+                self._vio_down = True
+
+        switchboard.topic("supervision").subscribe_callback(on_supervision)
 
     def iteration(self, ctx: InvocationContext) -> IterationResult:
         result = IterationResult()
@@ -238,6 +264,36 @@ class IntegratorPlugin(Plugin):
             for buffered in self._buffer:
                 if buffered.timestamp > estimate.timestamp and buffered.timestamp < sample.timestamp:
                     self._integrator.step(buffered)
+        if self._vio_down and not self._announced_fallback:
+            # Degradation policy: VIO is quarantined; announce that the
+            # fast path is running IMU-only from here on.
+            self._announced_fallback = True
+            from repro.resilience.supervisor import SupervisionEvent
+
+            result.publish(
+                "supervision",
+                SupervisionEvent(
+                    time=ctx.now,
+                    plugin=self.name,
+                    kind="degraded",
+                    detail="imu-only fallback: vio quarantined",
+                ),
+            )
+        if self._integrator is None and self._vio_down:
+            # VIO never anchored us: boot the integrator at the current
+            # sample (as VIO itself would have at initialization) and
+            # coast on dead reckoning.
+            truth = self.trajectory.sample(sample.timestamp)
+            self._integrator = Rk4Integrator(
+                IntegratorState(
+                    timestamp=sample.timestamp,
+                    orientation=truth.orientation,
+                    position=truth.position,
+                    velocity=truth.velocity,
+                    gyro_bias=np.zeros(3),
+                    accel_bias=np.zeros(3),
+                )
+            )
         if self._integrator is None:
             result.skipped = True
             return result

@@ -126,6 +126,10 @@ class TimewarpPlugin(Plugin):
         self.mtp_samples: List[MtpSample] = []
         self.display_events: List[DisplayEvent] = []
         self._pending: Optional[dict] = None
+        # Degradation accounting: frames where reprojection covered for a
+        # missing/stalled renderer by re-warping a stale submission.
+        self.stale_frame_count = 0
+        self._announced_stale = False
         # Reprojection is framebuffer-bandwidth bound: cost scales with
         # the display pixel count.
         self._static_scale = display_cost_scale(config, fov_exponent=0.0)
@@ -176,10 +180,30 @@ class TimewarpPlugin(Plugin):
                 self.switchboard.topic("fast_pose"), pose_event, horizon
             )
         imu_age = max(ctx.now - pose_event.effective_data_time, 0.0)
+        # Renderer-miss coverage (the paper's timewarp role): a frame older
+        # than two vsync periods means the application missed its slot(s)
+        # and this invocation is re-reprojecting the last good frame.
+        stale = (ctx.now - frame_event.publish_time) > 2.0 * self.trigger.period
+        if stale:
+            self.stale_frame_count += 1
+            if not self._announced_stale:
+                self._announced_stale = True
+                from repro.resilience.supervisor import SupervisionEvent
+
+                result.publish(
+                    "supervision",
+                    SupervisionEvent(
+                        time=ctx.now,
+                        plugin=self.name,
+                        kind="degraded",
+                        detail="re-reprojecting stale frame: renderer missing vsyncs",
+                    ),
+                )
         self._pending = {
             "imu_age": imu_age,
             "frame_pose": frame.pose,
             "warp_pose": warp_pose,
+            "stale": stale,
         }
         result.complexity = self._static_scale
         return result
@@ -195,6 +219,7 @@ class TimewarpPlugin(Plugin):
             imu_age=pending["imu_age"],
             reprojection_time=info.end - info.start,
             swap_wait=max(info.swap_time - info.end, 0.0),
+            stale_frame=pending.get("stale", False),
         )
         self.mtp_samples.append(sample)
         self.display_events.append(

@@ -1,0 +1,274 @@
+"""Deterministic, seeded fault injection for the runtime.
+
+A :class:`FaultPlan` is a list of *rules*, each scoped to a switchboard
+topic (``drop`` / ``delay`` / ``duplicate`` / ``corrupt``), a plugin
+(``crash`` / ``stall``), or a component clock (``skew``).  Rules fire
+either probabilistically (``rate``, using a per-rule RNG stream derived
+from the plan seed) or at an exact invocation index (``crash_at`` /
+``stall_at``), within an optional ``[start, stop)`` virtual-time window.
+
+Every firing appends an :class:`InjectionRecord` to :attr:`FaultPlan.log`.
+Because the DES engine is deterministic and each rule owns its own RNG
+stream, the log for a given (plan, seed, workload) is bit-identical
+across runs -- the chaos suite asserts this.
+
+The plan object doubles as the injector: :class:`~repro.core.switchboard.Topic`
+consults :meth:`FaultPlan.on_publish` and the scheduler consults
+:meth:`check_crash` / :meth:`stall_time` / :meth:`clock_skew`.  With no
+plan installed these call sites cost one attribute load and a branch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised inside a plugin callback by a ``crash`` rule."""
+
+
+@dataclass(frozen=True)
+class Corrupted:
+    """Wrapper marking a payload mangled by a ``corrupt`` rule.
+
+    Downstream consumers do not know about this type, so touching any
+    attribute of the original payload raises -- a realistic poison event
+    that exercises the supervisor's dead-letter path.
+    """
+
+    original: Any
+    note: str = "corrupted"
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One fault firing: what, where, and when (the determinism contract)."""
+
+    sequence: int        # injection order within the run
+    time: float          # virtual time of the firing
+    kind: str            # drop | delay | duplicate | corrupt | crash | stall | skew
+    target: str          # topic, plugin, or component name
+    detail: str = ""
+
+
+@dataclass
+class _Rule:
+    kind: str
+    target: str
+    rate: float = 0.0
+    start: float = 0.0
+    stop: float = math.inf
+    # Kind-specific parameters:
+    delay: float = 0.0        # delay: redelivery latency (seconds)
+    ticks: float = 0.0        # stall: stall length in units of the deadline
+    offset: float = 0.0       # skew: constant clock offset (seconds)
+    index: Optional[int] = None   # crash_at / stall_at: exact invocation index
+    note: str = ""
+
+    def active(self, time: float) -> bool:
+        return self.start <= time < self.stop
+
+
+class FaultPlan:
+    """A seeded, deterministic set of fault rules (builder-style API).
+
+    >>> plan = FaultPlan(seed=7).drop("imu", rate=0.05).crash("vio", rate=1.0)
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rules: List[_Rule] = []
+        self.log: List[InjectionRecord] = []
+        self._engine = None
+        self._rngs: List[np.random.Generator] = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Builder API
+    # ------------------------------------------------------------------
+
+    def _add(self, rule: _Rule) -> "FaultPlan":
+        if not 0.0 <= rule.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rule.rate}")
+        self.rules.append(rule)
+        return self
+
+    def drop(self, topic: str, rate: float, start: float = 0.0, stop: float = math.inf) -> "FaultPlan":
+        """Silently discard a fraction of events published on ``topic``."""
+        return self._add(_Rule("drop", topic, rate=rate, start=start, stop=stop))
+
+    def delay(
+        self, topic: str, rate: float, delay: float, start: float = 0.0, stop: float = math.inf
+    ) -> "FaultPlan":
+        """Hold a fraction of ``topic`` events back by ``delay`` seconds."""
+        if delay <= 0:
+            raise ValueError(f"delay must be positive, got {delay}")
+        return self._add(_Rule("delay", topic, rate=rate, delay=delay, start=start, stop=stop))
+
+    def duplicate(self, topic: str, rate: float, start: float = 0.0, stop: float = math.inf) -> "FaultPlan":
+        """Deliver a fraction of ``topic`` events twice (equal timestamps)."""
+        return self._add(_Rule("duplicate", topic, rate=rate, start=start, stop=stop))
+
+    def corrupt(
+        self, topic: str, rate: float, note: str = "corrupted", start: float = 0.0, stop: float = math.inf
+    ) -> "FaultPlan":
+        """Replace a fraction of ``topic`` payloads with :class:`Corrupted`."""
+        return self._add(_Rule("corrupt", topic, rate=rate, note=note, start=start, stop=stop))
+
+    def crash(self, plugin: str, rate: float, start: float = 0.0, stop: float = math.inf) -> "FaultPlan":
+        """Raise :class:`InjectedFault` inside a fraction of ``plugin`` callbacks."""
+        return self._add(_Rule("crash", plugin, rate=rate, start=start, stop=stop))
+
+    def crash_at(self, plugin: str, index: int) -> "FaultPlan":
+        """Crash the *first attempt* of invocation ``index`` exactly once
+        (retries of the same invocation succeed -- used to pin down the
+        no-duplicate-delivery-after-retry invariant)."""
+        return self._add(_Rule("crash", plugin, index=index))
+
+    def stall(
+        self, plugin: str, rate: float, ticks: float, start: float = 0.0, stop: float = math.inf
+    ) -> "FaultPlan":
+        """Stall a fraction of ``plugin`` invocations for ``ticks`` deadlines."""
+        if ticks <= 0:
+            raise ValueError(f"ticks must be positive, got {ticks}")
+        return self._add(_Rule("stall", plugin, rate=rate, ticks=ticks, start=start, stop=stop))
+
+    def stall_at(self, plugin: str, index: int, ticks: float) -> "FaultPlan":
+        """Stall invocation ``index`` of ``plugin`` for ``ticks`` deadlines."""
+        if ticks <= 0:
+            raise ValueError(f"ticks must be positive, got {ticks}")
+        return self._add(_Rule("stall", plugin, index=index, ticks=ticks))
+
+    def skew_clock(self, component: str, offset: float) -> "FaultPlan":
+        """Offset the clock a component observes by ``offset`` seconds."""
+        return self._add(_Rule("skew", component, offset=offset))
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
+
+    def begin_run(self, engine) -> None:
+        """Reset the log and reseed every rule's RNG stream.
+
+        Called by :class:`~repro.core.runtime.Runtime` at install time, so
+        the same plan object yields an identical injection log when run
+        again against the same workload.
+        """
+        self._engine = engine
+        self.log = []
+        self._sequence = 0
+        self._rngs = [
+            np.random.default_rng([self.seed, i]) for i, _ in enumerate(self.rules)
+        ]
+        for i, rule in enumerate(self.rules):
+            if rule.kind == "skew":
+                self._record(0.0, "skew", rule.target, f"offset={rule.offset}")
+
+    def _record(self, time: float, kind: str, target: str, detail: str = "") -> None:
+        self.log.append(InjectionRecord(self._sequence, time, kind, target, detail))
+        self._sequence += 1
+
+    def _fires(self, i: int, rule: _Rule, time: float) -> bool:
+        return rule.active(time) and self._rngs[i].random() < rule.rate
+
+    # ------------------------------------------------------------------
+    # Injection hooks (consulted by Topic and Scheduler)
+    # ------------------------------------------------------------------
+
+    def on_publish(
+        self, topic, publish_time: float, data: Any, data_time: Optional[float]
+    ) -> Optional[Tuple[str, Any]]:
+        """Decide the fate of one publish on ``topic``.
+
+        Returns ``None`` (deliver normally) or a directive tuple:
+        ``("drop", None)``, ``("delay", None)`` (redelivery already
+        scheduled), ``("corrupt", new_data)``, or ``("duplicate", None)``.
+        The first rule that fires wins.
+        """
+        name = topic.name
+        for i, rule in enumerate(self.rules):
+            if rule.target != name or rule.kind not in _TOPIC_KINDS:
+                continue
+            if not self._fires(i, rule, publish_time):
+                continue
+            if rule.kind == "drop":
+                self._record(publish_time, "drop", name, f"seq={topic.count}")
+                return ("drop", None)
+            if rule.kind == "delay":
+                self._record(publish_time, "delay", name, f"by={rule.delay}")
+                if self._engine is not None:
+                    # Redeliver via the engine at now + delay; the original
+                    # data timestamp is preserved so consumers see the
+                    # datum's true age.  Redelivery bypasses injection
+                    # (no recursive faulting).
+                    effective = publish_time if data_time is None else data_time
+                    self._engine.call_later(
+                        rule.delay,
+                        lambda t=topic, d=data, dt=effective: t.deliver(
+                            self._engine.now, d, data_time=dt
+                        ),
+                    )
+                    return ("delay", None)
+                return ("drop", None)  # no engine: degenerate to a drop
+            if rule.kind == "corrupt":
+                self._record(publish_time, "corrupt", name, rule.note)
+                return ("corrupt", Corrupted(original=data, note=rule.note))
+            if rule.kind == "duplicate":
+                self._record(publish_time, "duplicate", name, f"seq={topic.count}")
+                return ("duplicate", None)
+        return None
+
+    def check_crash(self, plugin: str, index: int, now: float, attempt: int) -> None:
+        """Raise :class:`InjectedFault` if a crash rule fires for this attempt."""
+        for i, rule in enumerate(self.rules):
+            if rule.kind != "crash" or rule.target != plugin:
+                continue
+            if rule.index is not None:
+                if rule.index == index and attempt == 0:
+                    self._record(now, "crash", plugin, f"index={index}")
+                    raise InjectedFault(f"injected crash in {plugin!r} at index {index}")
+                continue
+            if self._fires(i, rule, now):
+                self._record(now, "crash", plugin, f"index={index} attempt={attempt}")
+                raise InjectedFault(f"injected crash in {plugin!r} at t={now:.4f}")
+
+    def stall_time(
+        self, plugin: str, index: int, now: float, deadline: Optional[float]
+    ) -> float:
+        """Extra wall time to stall this invocation (0.0 = no stall)."""
+        tick = deadline if deadline else 0.05  # OnTopic plugins: 50 ms ticks
+        for i, rule in enumerate(self.rules):
+            if rule.kind != "stall" or rule.target != plugin:
+                continue
+            if rule.index is not None:
+                if rule.index == index:
+                    self._record(now, "stall", plugin, f"index={index} ticks={rule.ticks}")
+                    return rule.ticks * tick
+                continue
+            if self._fires(i, rule, now):
+                self._record(now, "stall", plugin, f"index={index} ticks={rule.ticks}")
+                return rule.ticks * tick
+        return 0.0
+
+    def clock_skew(self, component: str) -> float:
+        """Constant clock offset for ``component`` (sum of skew rules)."""
+        return sum(r.offset for r in self.rules if r.kind == "skew" and r.target == component)
+
+    # ------------------------------------------------------------------
+
+    def injections(self, kind: Optional[str] = None) -> List[InjectionRecord]:
+        """The injection log, optionally filtered to one fault kind."""
+        if kind is None:
+            return list(self.log)
+        return [r for r in self.log if r.kind == kind]
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(f"{r.kind}:{r.target}" for r in self.rules)
+        return f"FaultPlan(seed={self.seed}, rules=[{kinds}], injected={len(self.log)})"
+
+
+_TOPIC_KINDS = frozenset({"drop", "delay", "duplicate", "corrupt"})

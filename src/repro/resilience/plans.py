@@ -1,0 +1,87 @@
+"""Canned chaos scenarios and a random-plan generator.
+
+The four canned plans are the soak suite's fixtures; each models a
+failure mode the papers observe on real hardware:
+
+- :func:`vio_crash_loop` -- VIO dies on every frame (a segfaulting
+  tracker); the supervisor quarantines it and the fast path must keep
+  serving IMU-only poses.
+- :func:`renderer_stall` -- the application sporadically hangs for
+  several frame times (shader recompilation, asset load); timewarp must
+  cover with reprojected stale frames and the watchdog must reap the
+  stuck invocations.
+- :func:`imu_dropout` -- the IMU stream loses samples (a flaky driver);
+  the integrator's pose rate degrades proportionally but never stops.
+- :func:`corrupted_camera` -- camera frames arrive bit-flipped; VIO
+  raises on them and the poison frames are routed to the dead-letter
+  topic instead of killing the reader.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.resilience.faults import FaultPlan
+
+
+def vio_crash_loop(seed: int = 0) -> FaultPlan:
+    """Every VIO invocation crashes: forces quarantine + IMU-only fallback."""
+    return FaultPlan(seed).crash("vio", rate=1.0)
+
+
+def renderer_stall(seed: int = 0) -> FaultPlan:
+    """~8% of application frames stall for 6 frame times (watchdog fodder)."""
+    return FaultPlan(seed).stall("application", rate=0.08, ticks=6.0)
+
+
+def imu_dropout(seed: int = 0) -> FaultPlan:
+    """5% of IMU samples vanish before reaching the switchboard."""
+    return FaultPlan(seed).drop("imu", rate=0.05)
+
+
+def corrupted_camera(seed: int = 0) -> FaultPlan:
+    """12% of camera frames are bit-flipped poison for the VIO front-end."""
+    return FaultPlan(seed).corrupt("camera", rate=0.12, note="bit-flipped frame")
+
+
+CANNED_PLANS: Dict[str, Callable[[int], FaultPlan]] = {
+    "vio_crash_loop": vio_crash_loop,
+    "renderer_stall": renderer_stall,
+    "imu_dropout": imu_dropout,
+    "corrupted_camera": corrupted_camera,
+}
+
+
+_TOPICS = ("imu", "camera", "fast_pose", "slow_pose", "frame")
+_PLUGINS = ("vio", "application", "camera", "integrator")
+
+
+def random_fault_plan(seed: int, max_rules: int = 5) -> FaultPlan:
+    """A randomized (but seed-deterministic) plan for property tests.
+
+    Rates are kept modest (<= 15%) so the pipeline stays alive long
+    enough for the invariants under test to be observable.
+    """
+    rng = np.random.default_rng([seed, 0xFA017])
+    plan = FaultPlan(seed)
+    n_rules = int(rng.integers(1, max_rules + 1))
+    for _ in range(n_rules):
+        kind = rng.choice(["drop", "delay", "duplicate", "corrupt", "crash", "stall"])
+        rate = float(rng.uniform(0.01, 0.15))
+        if kind in ("drop", "delay", "duplicate", "corrupt"):
+            topic = str(rng.choice(_TOPICS))
+            if kind == "drop":
+                plan.drop(topic, rate)
+            elif kind == "delay":
+                plan.delay(topic, rate, delay=float(rng.uniform(0.002, 0.02)))
+            elif kind == "duplicate":
+                plan.duplicate(topic, rate)
+            else:
+                plan.corrupt(topic, rate)
+        elif kind == "crash":
+            plan.crash(str(rng.choice(_PLUGINS)), rate)
+        else:
+            plan.stall(str(rng.choice(_PLUGINS)), rate, ticks=float(rng.uniform(1.0, 4.0)))
+    return plan

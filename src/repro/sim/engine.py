@@ -190,6 +190,18 @@ class Engine:
         """Register ``generator`` as a new process starting now."""
         return Process(self, generator, name)
 
+    def call_later(self, delay: float, fn: Callable[[], None]) -> Timeout:
+        """Invoke ``fn`` after ``delay`` simulated seconds (no process needed).
+
+        Used by the watchdog (arming a hang check against a running
+        invocation) and by the fault injector (redelivering a delayed
+        switchboard event) -- cases where spinning up a full generator
+        process per callback would be wasteful.
+        """
+        timeout = Timeout(self, delay)
+        timeout.callbacks.append(lambda _trigger: fn())
+        return timeout
+
     def step(self) -> None:
         """Process the single next occurrence in the queue."""
         when, _seq, waitable = heapq.heappop(self._queue)
