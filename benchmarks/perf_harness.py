@@ -42,6 +42,7 @@ from repro.metrics.flip import flip  # noqa: E402
 from repro.metrics.ssim import ssim  # noqa: E402
 from repro.perception.reconstruction.tsdf import TsdfVolume  # noqa: E402
 from repro.perf import parallel_map, profile_summary, enable_profiling  # noqa: E402
+from repro.perf import profile as profile_module  # noqa: E402
 from repro.sensors.depth import DepthCamera, DepthScene  # noqa: E402
 from repro.visual.hologram import WeightedGerchbergSaxton  # noqa: E402
 
@@ -234,6 +235,97 @@ def _hologram_parity_sweep(seed: int) -> float:
     return float(np.abs(acc.phase - ref.phase).max())
 
 
+def _disabled_hook_cost_s(loops: int = 100_000) -> float:
+    """Per-call cost of a ``@profiled`` wrapper with profiling disabled.
+
+    Directly timing wrapped-vs-bare *kernels* cannot resolve a ~100 ns
+    branch under millisecond kernels and multi-percent scheduler jitter,
+    so the dispatch cost is measured where it is visible: a no-op
+    function called in a tight loop, wrapped minus unwrapped.  The cost
+    is independent of the wrapped body, so it transfers exactly.
+    """
+    from repro.perf import profiled
+
+    def noop() -> None:
+        return None
+
+    wrapped = profiled("overhead.noop")(noop)
+    for _ in range(1_000):  # warm both paths
+        noop()
+        wrapped()
+
+    def per_call(fn: Callable[[], None]) -> float:
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            for _ in range(loops):
+                fn()
+            best = min(best, time.perf_counter() - start)
+        return best / loops
+
+    return max(per_call(wrapped) - per_call(noop), 0.0)
+
+
+def bench_disabled_overhead(quick: bool, repeats: int) -> Dict[str, object]:
+    """Overhead of disabled instrumentation on the accelerated kernels.
+
+    Every accelerated kernel is wrapped by ``@profiled``; switched off
+    (the default, and the state of every untraced run) the wrapper is
+    one global load and a branch per call.  Reports that per-call hook
+    cost as a fraction of each kernel's bare runtime, which CI gates
+    under 3%.
+    """
+    was_enabled = profile_module.profiling_enabled()
+    profile_module.enable_profiling(False)
+    profile_module.set_tracer(None)
+    reps = max(repeats, 9 if quick else 5)
+    try:
+        hook_s = _disabled_hook_cost_s(20_000 if quick else 100_000)
+
+        n = 32 if quick else 96
+        iterations = 1 if quick else 5
+        depths = (0.05, 0.10, 0.20)
+        targets = _focal_targets(n, len(depths), seed=7)
+        holo = WeightedGerchbergSaxton(resolution=n, depths_m=depths, accelerated=True)
+        bare_solve = type(holo).solve.__wrapped__
+        kernel_bare_s = {
+            "hologram.solve": _time(
+                lambda: bare_solve(holo, targets, iterations=iterations, seed=0), reps
+            )
+        }
+
+        resolution = 32 if quick else 64
+        camera = DepthCamera(DepthScene.default(seed=3), width=80, height=60, noise_std=0.0)
+        pose = _tsdf_poses(1)[0]
+        frame = camera.render(pose, noisy=False)
+        bare_integrate = TsdfVolume.integrate.__wrapped__
+        kernel_bare_s["tsdf.integrate"] = _time(
+            lambda: bare_integrate(
+                TsdfVolume(resolution=resolution, accelerated=True), frame, pose, camera
+            ),
+            reps,
+        )
+
+        reference, test = _metric_pair(quick)
+        bare_ssim = ssim.__wrapped__
+        kernel_bare_s["metrics.ssim"] = _time(
+            lambda: bare_ssim(reference, test, accelerated=True), reps
+        )
+    finally:
+        profile_module.enable_profiling(was_enabled)
+
+    return {
+        "hook_cost_ns": hook_s * 1e9,
+        "kernels": {
+            name: {
+                "bare_ms": bare * 1e3,
+                "overhead_pct": hook_s / bare * 100.0,
+            }
+            for name, bare in kernel_bare_s.items()
+        },
+    }
+
+
 BENCHES = {
     "hologram.solve": bench_hologram,
     "tsdf.integrate": bench_tsdf,
@@ -259,6 +351,13 @@ def main(argv: List[str] | None = None) -> int:
         default=1,
         help="worker processes for the parity seed sweep (parallel_map)",
     )
+    parser.add_argument(
+        "--gate-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail if disabled-instrumentation overhead on any kernel exceeds PCT percent",
+    )
     args = parser.parse_args(argv)
     repeats = args.repeats or (1 if args.quick else 5)
 
@@ -281,6 +380,14 @@ def main(argv: List[str] | None = None) -> int:
     sweep_ok = bool(max(deviations) <= 1e-8)
     print(f"hologram parity sweep over {len(seeds)} seeds: max deviation {max(deviations):.2e}")
 
+    overhead = bench_disabled_overhead(args.quick, repeats)
+    print(f"disabled @profiled hook cost: {overhead['hook_cost_ns']:.0f} ns/call")
+    for name, entry in overhead["kernels"].items():
+        print(
+            f"{name:34s} bare {entry['bare_ms']:9.2f} ms   "
+            f"disabled-hook overhead {entry['overhead_pct']:+7.4f}%"
+        )
+
     payload = {
         "schema": "bench_hotpaths/v1",
         "quick": args.quick,
@@ -292,6 +399,7 @@ def main(argv: List[str] | None = None) -> int:
             "max_phase_deviation": max(deviations),
             "ok": sweep_ok,
         },
+        "disabled_instrumentation_overhead": overhead,
         "profile": profile_summary(reset=True),
     }
     args.json.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -301,6 +409,18 @@ def main(argv: List[str] | None = None) -> int:
     if not parity_ok:
         print("PARITY FAILURE: accelerated kernels deviate from reference", file=sys.stderr)
         return 1
+    if args.gate_overhead is not None:
+        over = {
+            name: entry["overhead_pct"]
+            for name, entry in overhead["kernels"].items()
+            if entry["overhead_pct"] > args.gate_overhead
+        }
+        if over:
+            print(
+                f"OVERHEAD FAILURE: disabled instrumentation exceeds {args.gate_overhead}%: {over}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

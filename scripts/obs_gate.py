@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""CI gate for the observability layer.
+
+Runs a traced integrated run, then enforces the acceptance criteria of
+the observability PR:
+
+1. the exported Chrome trace passes ``validate_chrome_trace`` (loadable
+   in Perfetto / chrome://tracing),
+2. >= 95% of displayed frames trace back to an originating IMU sample
+   through flow links (causal lineage),
+3. the critical-path MTP decomposition recomputed from spans matches the
+   online ``repro.metrics.mtp`` samples per-frame within 1e-6 s.
+
+Writes the trace JSON to ``--trace-out`` (uploaded as a CI artifact) and
+exits nonzero on any violation.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import SystemConfig
+from repro.core.runtime import build_runtime
+from repro.hardware.platform import PLATFORMS
+from repro.obs import (
+    critical_paths,
+    decomposition_summary,
+    lineage_fraction,
+    validate_chrome_trace,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--platform", choices=sorted(PLATFORMS), default="desktop")
+    parser.add_argument("--app", default="sponza")
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--fidelity", choices=("full", "model"), default="full")
+    parser.add_argument("--trace-out", type=Path, default=Path("trace.json"))
+    parser.add_argument("--min-lineage", type=float, default=0.95)
+    parser.add_argument("--max-parity-s", type=float, default=1e-6)
+    args = parser.parse_args(argv)
+
+    config = SystemConfig(duration_s=args.duration, fidelity=args.fidelity, seed=args.seed)
+    runtime = build_runtime(
+        PLATFORMS[args.platform], args.app, config, observability=True
+    )
+    result = runtime.run()
+    obs = result.observability
+    assert obs is not None
+
+    failures = []
+
+    trace = result.chrome_trace()
+    problems = validate_chrome_trace(trace)
+    if problems:
+        failures.append(f"chrome trace schema: {len(problems)} problems, first: {problems[0]}")
+    args.trace_out.write_text(json.dumps(trace) + "\n")
+    events = trace["traceEvents"]
+    flows = sum(1 for e in events if e.get("ph") == "s")
+    print(f"trace: {len(events)} events ({flows} flow starts) -> {args.trace_out}")
+
+    frames = critical_paths(obs.tracer)
+    lineage = lineage_fraction(frames)
+    print(f"lineage: {lineage:.1%} of {len(frames)} displayed frames reach an IMU sample")
+    if not frames:
+        failures.append("no displayed frames in traced run")
+    if lineage < args.min_lineage:
+        failures.append(f"lineage {lineage:.3f} < required {args.min_lineage}")
+
+    online = {round(s.frame_time, 9): s for s in result.mtp_samples}
+    worst = 0.0
+    matched = 0
+    for frame in frames:
+        sample = online.get(round(frame.frame_time, 9))
+        if sample is None:
+            continue
+        matched += 1
+        worst = max(
+            worst,
+            abs(frame.imu_age - sample.imu_age),
+            abs(frame.reprojection - sample.reprojection_time),
+            abs(frame.swap - sample.swap_wait),
+            abs(frame.total - (sample.imu_age + sample.reprojection_time + sample.swap_wait)),
+        )
+    print(f"critical-path parity vs online MTP: {matched} frames, max |err| {worst:.2e} s")
+    if matched != len(frames):
+        failures.append(f"only {matched}/{len(frames)} frames matched an online MTP sample")
+    if worst > args.max_parity_s:
+        failures.append(f"parity error {worst:.2e} s > {args.max_parity_s:.0e} s")
+
+    summary = decomposition_summary(frames)
+    if summary.get("count"):
+        print(f"MTP from spans: mean {summary['mean_ms']:.2f} ms over {summary['count']} frames")
+
+    if failures:
+        for failure in failures:
+            print(f"OBS GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("observability gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

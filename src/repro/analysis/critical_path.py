@@ -1,0 +1,91 @@
+"""Critical-path MTP report from a traced run, as a CLI::
+
+    python -m repro.analysis.critical_path                 # 5s desktop sponza
+    python -m repro.analysis.critical_path --platform jetson_lp --duration 10
+    python -m repro.analysis.critical_path --trace-out trace.json
+
+Runs one integrated run with observability on, then reproduces Table IV
+*from the trace spans alone* (:mod:`repro.obs.critical_path`), prints
+the per-frame decomposition ``mtp = t_imu_age + t_reprojection +
+t_swap`` with each frame's slowest edge named, and cross-checks the
+trace-derived numbers against the online :mod:`repro.metrics.mtp`
+samples.  ``--trace-out`` additionally exports the Chrome trace JSON
+(load it in Perfetto or chrome://tracing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.core.config import SystemConfig
+from repro.core.runtime import build_runtime
+from repro.hardware.platform import PLATFORMS
+from repro.obs.critical_path import decomposition_summary, render_report
+from repro.obs.export import validate_chrome_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--platform", default="desktop", choices=sorted(PLATFORMS)
+    )
+    parser.add_argument("--app", default="sponza")
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--fidelity", default="full", choices=("full", "model")
+    )
+    parser.add_argument(
+        "--trace-out", default=None, help="also export the Chrome trace JSON here"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the summary as JSON instead of text"
+    )
+    args = parser.parse_args(argv)
+
+    config = SystemConfig(
+        duration_s=args.duration, fidelity=args.fidelity, seed=args.seed
+    )
+    runtime = build_runtime(
+        PLATFORMS[args.platform], args.app, config, observability=True
+    )
+    result = runtime.run()
+    frames = result.critical_paths()
+    summary = decomposition_summary(frames)
+
+    # Cross-check against the online metric (§III-E): the trace-derived
+    # per-frame decomposition must reproduce metrics/mtp.py exactly.
+    online = {round(s.frame_time, 9): s for s in result.mtp_samples}
+    worst = 0.0
+    for frame in frames:
+        sample = online.get(round(frame.frame_time, 9))
+        if sample is None:
+            continue
+        worst = max(
+            worst,
+            abs(frame.imu_age - sample.imu_age),
+            abs(frame.reprojection - sample.reprojection_time),
+            abs(frame.swap - sample.swap_wait),
+        )
+    summary["online_parity_max_abs_s"] = worst
+
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_report(frames))
+        print(f"\n  parity vs online MTP metric: max |delta| = {worst:.2e} s")
+
+    if args.trace_out:
+        payload = result.chrome_trace()
+        problems = validate_chrome_trace(payload)
+        result.export_chrome_trace(args.trace_out)
+        status = "valid" if not problems else f"INVALID ({problems[:3]})"
+        print(f"  chrome trace: {args.trace_out} ({len(payload['traceEvents'])} events, {status})")
+        if problems:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

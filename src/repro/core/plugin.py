@@ -120,11 +120,16 @@ class Plugin:
         self.trigger = trigger
         self.switchboard: Optional[Switchboard] = None
         self.phonebook: Optional[Phonebook] = None
+        # The run's observability facade (repro.obs), or None when the
+        # run is untraced; resolved in setup().  Plugins wanting richer
+        # traces call ``self.obs.annotate(...)`` behind a None-check.
+        self.obs: Optional[Any] = None
 
     def setup(self, phonebook: Phonebook, switchboard: Switchboard) -> None:
         """Wire up streams/services.  Subclasses should call super().setup."""
         self.phonebook = phonebook
         self.switchboard = switchboard
+        self.obs = phonebook.lookup("observability") if "observability" in phonebook else None
 
     def iteration(self, ctx: InvocationContext) -> IterationResult:
         """Do one invocation's work; must be overridden."""

@@ -77,6 +77,14 @@ class RecordLogger:
         """Names of all plugins that logged at least one record."""
         return sorted({r.plugin for r in self.records})
 
+    def for_pipeline(self, pipeline: str) -> List[InvocationRecord]:
+        """All records for one pipeline (perception/visual/audio/...)."""
+        return [r for r in self.records if r.pipeline == pipeline]
+
+    def pipelines(self) -> List[str]:
+        """Names of all pipelines that logged at least one record."""
+        return sorted({r.pipeline for r in self.records})
+
     def frame_rate(self, plugin: str, duration: float) -> float:
         """Achieved frames per second over ``duration`` seconds.
 
@@ -112,11 +120,34 @@ class RecordLogger:
         return sum(r.missed_deadline for r in records) / len(records)
 
     def cpu_time_totals(self) -> Dict[str, float]:
-        """Total CPU seconds consumed per plugin."""
+        """Total CPU seconds consumed per plugin.
+
+        Watchdog-killed invocations are excluded: their slots were
+        reclaimed, so they consumed no accountable cost (the scheduler
+        logs them with zero times, but the exclusion is an invariant of
+        the accounting, not of the producer).
+        """
         totals: Dict[str, float] = defaultdict(float)
         for record in self.records:
-            totals[record.plugin] += record.cpu_time
+            if not record.killed:
+                totals[record.plugin] += record.cpu_time
         return dict(totals)
+
+    def pipeline_cpu_share(self) -> Dict[str, float]:
+        """Fraction of all CPU seconds attributed to each *pipeline*.
+
+        The pipeline-level rollup of :meth:`cpu_share` (Fig. 5 groups the
+        per-component shares by pipeline); killed invocations carry no
+        cost here either.
+        """
+        totals: Dict[str, float] = defaultdict(float)
+        for record in self.records:
+            if not record.killed:
+                totals[record.pipeline] += record.cpu_time
+        grand = sum(totals.values())
+        if grand == 0:
+            return {name: 0.0 for name in totals}
+        return {name: value / grand for name, value in totals.items()}
 
     def cpu_share(self) -> Dict[str, float]:
         """Fraction of all CPU cycles attributed to each plugin (Fig. 5).

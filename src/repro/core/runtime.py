@@ -61,6 +61,9 @@ class RuntimeResult:
     # report and the fault injector's event-level injection log.
     supervision: Optional[Dict[str, object]] = None
     fault_log: List[object] = field(default_factory=list)
+    # Observability (None unless the run opted in): the live
+    # tracer/metrics facade -- see repro.obs.
+    observability: Optional[object] = None
 
     def frame_rate(self, plugin: str) -> float:
         """Achieved frame rate of one plugin over the run (Fig. 3)."""
@@ -115,6 +118,8 @@ class RuntimeResult:
         if self.supervision is not None:
             summary["supervision"] = self.supervision
             summary["faults_injected"] = len(self.fault_log)
+        if self.observability is not None:
+            summary["observability"] = self.observability.summary()
         return summary
 
     def save_metrics(self, path: str) -> None:
@@ -123,6 +128,41 @@ class RuntimeResult:
 
         with open(path, "w") as handle:
             json.dump(self.summary(), handle, indent=2, sort_keys=True)
+
+    # ------------------------------------------------------------------
+    # Observability accessors (require observability=True on the run)
+    # ------------------------------------------------------------------
+
+    def _require_obs(self):
+        if self.observability is None:
+            raise RuntimeError(
+                "run was not traced; pass observability=True to build_runtime"
+            )
+        return self.observability
+
+    def chrome_trace(self) -> Dict[str, object]:
+        """The run as a Chrome trace-event JSON object (Perfetto-loadable)."""
+        from repro.obs.export import chrome_trace
+
+        obs = self._require_obs()
+        return chrome_trace(
+            obs.tracer,
+            metadata={"platform": self.platform.key, "app": self.app_name,
+                      "duration_s": self.duration},
+        )
+
+    def export_chrome_trace(self, path: str) -> None:
+        """Write :meth:`chrome_trace` to ``path``."""
+        import json
+
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+
+    def critical_paths(self) -> List[object]:
+        """Per-displayed-frame MTP decomposition walked from the trace."""
+        from repro.obs.critical_path import critical_paths
+
+        return critical_paths(self._require_obs().tracer)
 
 
 class Runtime:
@@ -139,6 +179,7 @@ class Runtime:
         dilation: Optional[Dict[str, float]] = None,
         fault_plan=None,
         supervision=None,
+        observability=None,
     ) -> None:
         self.platform = platform
         self.config = config
@@ -166,6 +207,19 @@ class Runtime:
         if fault_plan is not None:
             fault_plan.begin_run(self.engine)
             self.switchboard.install_injector(fault_plan)
+        # Observability layer (repro.obs): opt-in.  True builds a fresh
+        # facade; a prebuilt Observability is accepted so tests/analysis
+        # can pre-register extra instruments.
+        self.observability = None
+        if observability:
+            from repro.obs import Observability
+
+            self.observability = (
+                observability
+                if isinstance(observability, Observability)
+                else Observability()
+            )
+            self.observability.attach(self.engine, self.switchboard)
         self.scheduler = Scheduler(
             self.engine,
             platform,
@@ -176,12 +230,15 @@ class Runtime:
             dilation=dilation,
             injector=fault_plan,
             supervisor=self.supervisor,
+            observability=self.observability,
         )
         self.phonebook.register("engine", self.engine)
         self.phonebook.register("platform", platform)
         self.phonebook.register("config", config)
         self.phonebook.register("trajectory", trajectory)
         self.phonebook.register("timing", self.timing)
+        if self.observability is not None:
+            self.phonebook.register("observability", self.observability)
 
     def run(self, duration: Optional[float] = None) -> RuntimeResult:
         """Boot the system, run for ``duration`` seconds, collect results."""
@@ -231,6 +288,7 @@ class Runtime:
             trajectory=self.trajectory,
             supervision=self.supervisor.report() if self.supervisor is not None else None,
             fault_log=list(self.fault_plan.log) if self.fault_plan is not None else [],
+            observability=self.observability,
         )
 
 
@@ -241,13 +299,16 @@ def build_runtime(
     trajectory: Optional[TrajectorySpline] = None,
     fault_plan=None,
     supervision=None,
+    observability=None,
 ) -> Runtime:
     """Assemble the paper's integrated system configuration (§III-B).
 
     ``fault_plan`` (a :class:`repro.resilience.FaultPlan`) and
     ``supervision`` (a :class:`repro.resilience.SupervisorConfig` or a
     prebuilt supervisor) opt the run into the resilience layer; both
-    default to off, leaving the hot paths untouched.
+    default to off, leaving the hot paths untouched.  ``observability``
+    (True or a prebuilt :class:`repro.obs.Observability`) opts into
+    causal tracing and the metrics registry under the same discipline.
     """
     config = config or SystemConfig()
     scene: Scene = scene_by_name(app_name)
@@ -289,4 +350,5 @@ def build_runtime(
         timing=timing,
         fault_plan=fault_plan,
         supervision=supervision,
+        observability=observability,
     )

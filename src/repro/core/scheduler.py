@@ -61,6 +61,7 @@ class Scheduler:
         dilation: Optional[Dict[str, float]] = None,
         injector=None,
         supervisor=None,
+        observability=None,
     ) -> None:
         self.engine = engine
         self.platform = platform
@@ -72,6 +73,9 @@ class Scheduler:
         # which case every hook below is one attribute load and a branch.
         self.injector = injector
         self.supervisor = supervisor
+        # Observability (repro.obs): wraps every invocation in a causal
+        # span and feeds the scheduler metrics.  None-check discipline.
+        self.obs = observability
         self.cpu = Resource(engine, platform.cpu_cores, name="cpu")
         self.gpu = Resource(engine, platform.gpu_concurrency, name="gpu")
         # GPU preemption granularity (draw-call/kernel boundary timeslice).
@@ -120,6 +124,8 @@ class Scheduler:
                 return
             if self._busy[plugin.name]:
                 self.logger.log_drop(plugin.name, scheduled)
+                if self.obs is not None:
+                    self.obs.on_scheduler_drop(plugin.name, scheduled)
             else:
                 self._busy[plugin.name] = True
                 self._spawn(
@@ -139,6 +145,8 @@ class Scheduler:
                 return
             if self._busy[plugin.name]:
                 self.logger.log_drop(plugin.name, start_at)
+                if self.obs is not None:
+                    self.obs.on_scheduler_drop(plugin.name, start_at)
             else:
                 # Deadline = the lead: finishing after it means the vsync
                 # was missed and the frame slips to the next one.
@@ -160,6 +168,8 @@ class Scheduler:
                 return
             if self._busy[plugin.name]:
                 self.logger.log_drop(plugin.name, self.engine.now)
+                if self.obs is not None:
+                    self.obs.on_scheduler_drop(plugin.name, self.engine.now)
             else:
                 self._busy[plugin.name] = True
                 self._spawn(
@@ -209,12 +219,16 @@ class Scheduler:
     # One invocation
     # ------------------------------------------------------------------
 
-    def _run_iteration(self, plugin: Plugin, index: int, trigger_event):
+    def _run_iteration(self, plugin: Plugin, index: int, trigger_event, span=None):
         """Run ``plugin.iteration`` under supervision (crash/retry/quarantine).
 
         Returns the :class:`IterationResult`, or None when the invocation
         was abandoned (quarantined, or retries exhausted).  Unsupervised,
         this is exactly one ``iteration`` call and exceptions propagate.
+
+        ``span`` (observability only) is activated around the synchronous
+        ``iteration`` call so async topic reads inside it become lineage
+        links; it is never held across a yield.
         """
         injector = self.injector
         supervisor = self.supervisor
@@ -227,10 +241,17 @@ class Scheduler:
             try:
                 if injector is not None:
                     injector.check_crash(plugin.name, index, self.engine.now, attempt)
-                result = plugin.iteration(ctx)
+                if span is not None:
+                    self.obs.note_attempt(span, ctx.now, attempt)
+                    with self.obs.tracer.activate(span):
+                        result = plugin.iteration(ctx)
+                else:
+                    result = plugin.iteration(ctx)
             except Interrupt:
                 raise
             except Exception as exc:
+                if span is not None:
+                    self.obs.on_attempt_error(span, self.engine.now, exc)
                 if supervisor is None:
                     self._busy[plugin.name] = False
                     raise
@@ -268,14 +289,22 @@ class Scheduler:
         index = self._indices[plugin.name]
         self._indices[plugin.name] += 1
         start = self.engine.now
+        obs = self.obs
+        span = (
+            obs.begin_invocation(plugin, start, trigger_event, index)
+            if obs is not None
+            else None
+        )
         # Resource slots currently held, so a watchdog kill can reclaim
         # them (a hung invocation must not leak a CPU core or the GPU).
         held: list = []
         try:
             result: Optional[IterationResult] = yield from self._run_iteration(
-                plugin, index, trigger_event
+                plugin, index, trigger_event, span=span
             )
             if result is None or result.skipped:
+                if span is not None:
+                    obs.end_invocation(span, end=self.engine.now, skipped=True)
                 self._busy[plugin.name] = False
                 return
 
@@ -350,6 +379,8 @@ class Scheduler:
             # (no cost -- the slots were reclaimed), release the plugin.
             for resource, pending in held:
                 resource.cancel(pending)
+            if span is not None:
+                obs.end_invocation(span, end=self.engine.now, killed=True)
             self.logger.log(
                 InvocationRecord(
                     plugin=plugin.name,
@@ -369,12 +400,30 @@ class Scheduler:
             self._busy[plugin.name] = False
             return
 
-        for output in result.outputs:
-            self.switchboard.topic(output.topic).put(
-                self.engine.now, output.data, data_time=output.data_time
-            )
+        if span is not None:
+            # Activate around the (synchronous) publishes so outputs are
+            # stamped with this invocation's trace context.
+            with obs.tracer.activate(span):
+                for output in result.outputs:
+                    self.switchboard.topic(output.topic).put(
+                        self.engine.now, output.data, data_time=output.data_time
+                    )
+        else:
+            for output in result.outputs:
+                self.switchboard.topic(output.topic).put(
+                    self.engine.now, output.data, data_time=output.data_time
+                )
 
         missed = deadline is not None and (end - scheduled_at) > deadline
+        if span is not None:
+            obs.end_invocation(
+                span,
+                end=end,
+                cpu_time=cost.cpu_time,
+                gpu_time=cost.gpu_time,
+                swap_time=swap_time if vsync_period is not None else None,
+                missed_deadline=missed,
+            )
         self.logger.log(
             InvocationRecord(
                 plugin=plugin.name,

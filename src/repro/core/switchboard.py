@@ -66,12 +66,17 @@ class StampedEvent(Generic[T]):
     (e.g. the IMU sample time behind a pose estimate), which can be older
     than ``publish_time`` -- their difference is the data's age at
     publication.
+
+    ``trace`` carries the publishing invocation's trace context (see
+    :mod:`repro.obs`) so consumers can attach themselves to the
+    producer's lineage; it is None unless observability is enabled.
     """
 
     publish_time: float
     data: T
     data_time: Optional[float] = None
     sequence: int = 0
+    trace: Optional[Any] = None
 
     @property
     def effective_data_time(self) -> float:
@@ -93,6 +98,10 @@ class Topic(Generic[T]):
         # Fault-injection hook (see repro.resilience.faults).  None in
         # normal operation: put() then pays one attribute load + branch.
         self._injector: Optional[Any] = None
+        # Observability hook (see repro.obs): stamps trace contexts at
+        # publish and turns reads into lineage links.  Same discipline:
+        # None unless a run opted in.
+        self._observer: Optional[Any] = None
 
     def put(self, publish_time: float, data: T, data_time: Optional[float] = None) -> StampedEvent[T]:
         """Publish ``data`` at ``publish_time``; notify all readers.
@@ -107,6 +116,8 @@ class Topic(Generic[T]):
             if directive is not None:
                 kind, payload = directive
                 if kind == "drop" or kind == "delay":
+                    if self._observer is not None:
+                        self._observer.on_injector_drop(self.name, kind)
                     return StampedEvent(publish_time, data, data_time, self._sequence)
                 if kind == "corrupt":
                     data = payload
@@ -127,18 +138,29 @@ class Topic(Generic[T]):
                 f"topic {self.name!r}: non-monotonic publish time "
                 f"{publish_time} < {self._history[-1].publish_time}"
             )
-        event = StampedEvent(publish_time, data, data_time, self._sequence)
+        observer = self._observer
+        trace = observer.publish_context(self.name) if observer is not None else None
+        event = StampedEvent(publish_time, data, data_time, self._sequence, trace)
         self._sequence += 1
         self._history.append(event)
         for queue in self._queues:
             queue.append(event)
+        if observer is not None:
+            # Metrics before callbacks: the publish is recorded before any
+            # cascading reaction it triggers.
+            observer.on_publish(self, event)
         for callback in self._callbacks:
             callback(event)
         return event
 
     def get_latest(self) -> Optional[StampedEvent[T]]:
         """Asynchronous read: the most recent event, or None if empty."""
-        return self._history[-1] if self._history else None
+        if not self._history:
+            return None
+        event = self._history[-1]
+        if self._observer is not None:
+            self._observer.on_read(self.name, event)
+        return event
 
     def get_latest_before(self, time: float) -> Optional[StampedEvent[T]]:
         """The most recent event published at or before ``time``.
@@ -156,7 +178,12 @@ class Topic(Generic[T]):
                 lo = mid + 1
             else:
                 hi = mid
-        return history[lo - 1] if lo else None
+        if not lo:
+            return None
+        event = history[lo - 1]
+        if self._observer is not None:
+            self._observer.on_read(self.name, event)
+        return event
 
     def subscribe_queue(self) -> "SyncReader[T]":
         """Synchronous read: a reader that sees every subsequent event."""
@@ -212,12 +239,14 @@ class Switchboard:
     _topics: Dict[str, Topic[Any]] = field(default_factory=dict)
 
     _injector: Optional[Any] = None
+    _observer: Optional[Any] = None
 
     def topic(self, name: str, history: int = 128) -> Topic[Any]:
         """Get or create the topic called ``name``."""
         if name not in self._topics:
             topic = Topic(name, history=history)
             topic._injector = self._injector
+            topic._observer = self._observer
             self._topics[name] = topic
         return self._topics[name]
 
@@ -226,6 +255,12 @@ class Switchboard:
         self._injector = injector
         for topic in self._topics.values():
             topic._injector = injector
+
+    def install_observer(self, observer: Optional[Any]) -> None:
+        """Attach an observability hook to every current and future topic."""
+        self._observer = observer
+        for topic in self._topics.values():
+            topic._observer = observer
 
     def __contains__(self, name: str) -> bool:
         return name in self._topics

@@ -1,0 +1,36 @@
+"""Trace-context identity: what gets stamped onto switchboard events.
+
+A :class:`TraceContext` names one span inside one trace.  The runtime
+stamps the *publishing* invocation's context onto every
+:class:`~repro.core.switchboard.StampedEvent` at ``put`` time, so any
+consumer -- synchronous (trigger) or asynchronous (``get_latest``) --
+can attach itself to the producer's lineage.  Identifiers are small
+integers allocated by a per-run :class:`~repro.obs.tracer.Tracer`
+counter: the simulation is deterministic and single-process, so random
+128-bit ids would only make traces harder to diff across seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Coordinates of one span: which trace it belongs to and who made it.
+
+    ``trace_id`` groups every span descended from one root cause (one
+    sensor sample, typically); ``span_id`` is unique across the run;
+    ``parent_id`` is the creating span, or None for a trace root.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int] = None
+
+    def child_of(self) -> "TraceContext":
+        """The context a child span created under this one should carry
+        (same trace, this span as parent; the child's own id is assigned
+        by the tracer)."""
+        return TraceContext(self.trace_id, -1, self.span_id)

@@ -1,0 +1,242 @@
+"""A small labeled-series metrics registry (counters, gauges, histograms).
+
+The naming conventions follow the Prometheus style the ROADMAP's
+production north-star implies: ``subsystem_quantity_unit`` snake_case
+names (``scheduler_deadline_misses_total``, ``mtp_seconds``), with
+low-cardinality labels (plugin and topic names -- never timestamps or
+ids).  Histograms use *fixed* bucket boundaries chosen at registration,
+so observation is O(#buckets) worst-case and O(log #buckets) in
+practice, and online percentile estimates never require retaining the
+raw samples.
+
+Everything is plain Python with no background machinery: metrics are
+updated inline by the observability hooks and read once at the end of a
+run via :meth:`MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: LabelKey) -> str:
+    return ",".join(f"{k}={v}" for k, v in key) if key else ""
+
+
+class Counter:
+    """A monotonically increasing count, per label set."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._series.values())
+
+    def series(self) -> Dict[str, float]:
+        return {_label_str(k): v for k, v in sorted(self._series.items())}
+
+
+class Gauge:
+    """A point-in-time value, per label set."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: Dict[LabelKey, float] = {}
+        self._max: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        self._series[key] = value
+        previous = self._max.get(key)
+        if previous is None or value > previous:
+            self._max[key] = value
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def high_water(self, **labels: object) -> float:
+        """The maximum value ever set (queue-depth style gauges care)."""
+        return self._max.get(_label_key(labels), 0.0)
+
+    def series(self) -> Dict[str, float]:
+        return {_label_str(k): v for k, v in sorted(self._series.items())}
+
+    def high_water_series(self) -> Dict[str, float]:
+        return {_label_str(k): v for k, v in sorted(self._max.items())}
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+
+class Histogram:
+    """A fixed-bucket histogram with online quantile estimation.
+
+    ``buckets`` are inclusive upper bounds, strictly increasing; values
+    above the last bound land in an overflow bucket.  Quantiles are
+    estimated by linear interpolation inside the containing bucket (the
+    standard Prometheus ``histogram_quantile`` scheme), with the exact
+    observed min/max used to tighten the first and last buckets.
+    """
+
+    def __init__(self, name: str, buckets: Sequence[float], help: str = "") -> None:
+        bounds = list(buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} buckets must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def _get(self, labels: Mapping[str, object]) -> _HistogramSeries:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        return series
+
+    def observe(self, value: float, **labels: object) -> None:
+        series = self._get(labels)
+        series.counts[bisect_left(self.buckets, value)] += 1
+        series.count += 1
+        series.sum += value
+        if value < series.min:
+            series.min = value
+        if value > series.max:
+            series.max = value
+
+    def count(self, **labels: object) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def mean(self, **labels: object) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.sum / series.count if series and series.count else math.nan
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) for one label set."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return math.nan
+        rank = q * series.count
+        cumulative = 0
+        for i, bucket_count in enumerate(series.counts):
+            if bucket_count == 0:
+                continue
+            lo = self.buckets[i - 1] if i > 0 else min(series.min, self.buckets[0])
+            hi = self.buckets[i] if i < len(self.buckets) else series.max
+            lo = max(lo, series.min)
+            hi = min(hi, series.max)
+            if hi < lo:
+                lo = hi
+            if cumulative + bucket_count >= rank:
+                inside = max(rank - cumulative, 0.0)
+                return lo + (hi - lo) * (inside / bucket_count)
+            cumulative += bucket_count
+        return series.max
+
+    def snapshot_series(self) -> Dict[str, Dict[str, object]]:
+        out: Dict[str, Dict[str, object]] = {}
+        for key, series in sorted(self._series.items()):
+            entry: Dict[str, object] = {
+                "count": series.count,
+                "sum": series.sum,
+            }
+            if series.count:
+                entry.update(
+                    min=series.min,
+                    max=series.max,
+                    mean=series.sum / series.count,
+                    p50=self.quantile(0.50, **dict(key)),
+                    p95=self.quantile(0.95, **dict(key)),
+                    p99=self.quantile(0.99, **dict(key)),
+                )
+            out[_label_str(key)] = entry
+        return out
+
+
+class MetricsRegistry:
+    """Name -> metric, with get-or-create registration."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name)
+            metric = self._counters[name] = Counter(name, help)
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name)
+            metric = self._gauges[name] = Gauge(name, help)
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, help: str = ""
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            if buckets is None:
+                raise ValueError(f"first registration of histogram {name!r} needs buckets")
+            self._check_free(name)
+            metric = self._histograms[name] = Histogram(name, buckets, help)
+        return metric
+
+    def _check_free(self, name: str) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if name in table:
+                raise ValueError(f"metric {name!r} already registered with another type")
+
+    def names(self) -> List[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-serializable dump of every series."""
+        return {
+            "counters": {n: c.series() for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: {"last": g.series(), "high_water": g.high_water_series()}
+                for n, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                n: h.snapshot_series() for n, h in sorted(self._histograms.items())
+            },
+        }

@@ -23,6 +23,33 @@ def _pool_probe(x: int) -> int:
     return x + 1
 
 
+class _ProfiledCall:
+    """Picklable wrapper shipping worker-side profile records back.
+
+    Worker processes start with a fresh (empty, disabled) profile
+    registry, so ``@profiled`` samples taken inside ``fn`` would be lost
+    when the worker exits.  When the *parent* has profiling enabled, each
+    task instead runs with profiling on in the worker and returns
+    ``(result, registry-snapshot)``; the parent folds the snapshots into
+    its own registry so ``profile_summary()`` sees every call exactly
+    once regardless of where it ran.
+    """
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: T):
+        from repro.perf import profile
+
+        profile.reset_profile()
+        profile.enable_profiling(True)
+        try:
+            result = self.fn(item)
+        finally:
+            profile.enable_profiling(False)
+        return result, profile.snapshot_records()
+
+
 def _try_make_pool(workers: int):
     """A working ProcessPoolExecutor, or None when the platform refuses."""
     try:
@@ -67,7 +94,16 @@ def parallel_map(
     pool = _try_make_pool(workers)
     if pool is None:
         return [fn(item) for item in materialized]
+    from repro.perf import profile
+
     try:
+        if profile.profiling_enabled():
+            pairs = list(pool.map(_ProfiledCall(fn), materialized, chunksize=chunksize))
+            results: List[R] = []
+            for result, records in pairs:
+                profile.merge_records(records)
+                results.append(result)
+            return results
         return list(pool.map(fn, materialized, chunksize=chunksize))
     finally:
         pool.shutdown()

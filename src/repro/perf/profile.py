@@ -10,12 +10,20 @@ shape ``benchmarks/perf_harness.py`` writes into ``BENCH_hotpaths.json``.
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional
 
 _enabled = False
 _records: Dict[str, Dict[str, float]] = {}
+# Callers (and pool workers merging back, see repro.perf.parallel) may hit
+# the registry from multiple threads; one lock keeps aggregation exact.
+_lock = threading.Lock()
+# Optional repro.obs tracer: when set, every profiled call also becomes a
+# ``kernel`` span nested in the currently active plugin span, placing the
+# host cost of real kernels at its simulated-time location.
+_tracer: Optional[Any] = None
 
 
 def enable_profiling(on: bool = True) -> None:
@@ -31,23 +39,61 @@ def profiling_enabled() -> bool:
 
 def reset_profile() -> None:
     """Discard all recorded samples."""
-    _records.clear()
+    with _lock:
+        _records.clear()
+
+
+def set_tracer(tracer: Optional[Any]) -> None:
+    """Install (or, with None, remove) a span tracer for kernel nesting.
+
+    Wired by :meth:`repro.obs.Observability.attach`; while installed,
+    ``_record`` emits a zero-simulated-duration ``kernel`` span carrying
+    the wall time as a ``wall_s`` attribute -- but only when a plugin
+    span is active, so standalone benchmark runs stay span-free.
+    """
+    global _tracer
+    _tracer = tracer
+
+
+def snapshot_records() -> Dict[str, Dict[str, float]]:
+    """A deep copy of the registry (what pool workers ship back)."""
+    with _lock:
+        return {name: dict(stats) for name, stats in _records.items()}
+
+
+def merge_records(records: Mapping[str, Mapping[str, float]]) -> None:
+    """Fold another registry snapshot into this one (pool-worker merge)."""
+    with _lock:
+        for name, incoming in records.items():
+            stats = _records.get(name)
+            if stats is None:
+                _records[name] = dict(incoming)
+            else:
+                stats["calls"] += incoming["calls"]
+                stats["total_s"] += incoming["total_s"]
+                stats["min_s"] = min(stats["min_s"], incoming["min_s"])
+                stats["max_s"] = max(stats["max_s"], incoming["max_s"])
 
 
 def _record(name: str, elapsed: float) -> None:
-    stats = _records.get(name)
-    if stats is None:
-        _records[name] = {
-            "calls": 1,
-            "total_s": elapsed,
-            "min_s": elapsed,
-            "max_s": elapsed,
-        }
-    else:
-        stats["calls"] += 1
-        stats["total_s"] += elapsed
-        stats["min_s"] = min(stats["min_s"], elapsed)
-        stats["max_s"] = max(stats["max_s"], elapsed)
+    with _lock:
+        stats = _records.get(name)
+        if stats is None:
+            _records[name] = {
+                "calls": 1,
+                "total_s": elapsed,
+                "min_s": elapsed,
+                "max_s": elapsed,
+            }
+        else:
+            stats["calls"] += 1
+            stats["total_s"] += elapsed
+            stats["min_s"] = min(stats["min_s"], elapsed)
+            stats["max_s"] = max(stats["max_s"], elapsed)
+    tracer = _tracer
+    if tracer is not None and tracer.current() is not None:
+        kernel = tracer.start_span(name, track=tracer.current().track, kind="kernel", attributes={"wall_s": elapsed})
+        tracer.end_span(kernel, end=kernel.start)
 
 
 @contextmanager
@@ -92,10 +138,11 @@ def profiled(name_or_fn: Optional[Callable[..., Any] | str] = None) -> Callable[
 
 def profile_summary(reset: bool = False) -> Dict[str, Dict[str, float]]:
     """Per-name call counts and wall-time aggregates (mean derived)."""
-    summary = {
-        name: {**stats, "mean_s": stats["total_s"] / stats["calls"]}
-        for name, stats in _records.items()
-    }
+    with _lock:
+        summary = {
+            name: {**stats, "mean_s": stats["total_s"] / stats["calls"]}
+            for name, stats in _records.items()
+        }
     if reset:
         reset_profile()
     return summary

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Deque, Optional
 
@@ -176,6 +177,16 @@ class VioPlugin(Plugin):
             vio.process_imu(sample)
         estimate: VioEstimate = vio.process_frame(frame)
         self._frames_processed += 1
+        if self.obs is not None:
+            # Tracking health on the invocation span + a gauge series, so
+            # pose-quality regressions are visible next to latency.
+            self.obs.annotate(
+                tracked_features=estimate.tracked_features,
+                slam_landmarks=estimate.slam_landmarks,
+            )
+            self.obs.metrics.gauge(
+                "vio_tracked_features", "features the front-end is tracking"
+            ).set(float(estimate.tracked_features))
         # Input-dependence: more tracked features and landmarks = more work.
         tracked_ratio = min(
             1.0, estimate.tracked_features / max(self.msckf_config.max_features, 1)
@@ -300,5 +311,14 @@ class IntegratorPlugin(Plugin):
         if sample.timestamp > self._integrator.state.timestamp:
             self._integrator.step(sample)
         pose = self._integrator.state.pose()
+        if self.obs is not None:
+            # How far the fast path has coasted from its last VIO anchor
+            # (grows unboundedly when VIO is quarantined).
+            self.obs.annotate(
+                anchor_age=max(sample.timestamp - self._anchor_timestamp, 0.0)
+                if self._anchor_timestamp >= 0
+                else math.inf,
+                vio_down=self._vio_down,
+            )
         result.publish("fast_pose", pose, data_time=sample.timestamp)
         return result

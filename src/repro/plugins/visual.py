@@ -206,6 +206,10 @@ class TimewarpPlugin(Plugin):
             "stale": stale,
         }
         result.complexity = self._static_scale
+        if self.obs is not None:
+            # Annotate the invocation span so exported traces show each
+            # frame's pose age and staleness without re-deriving them.
+            self.obs.annotate(imu_age=imu_age, stale_frame=stale)
         return result
 
     def on_complete(self, info: CompletionInfo) -> None:
@@ -222,6 +226,10 @@ class TimewarpPlugin(Plugin):
             stale_frame=pending.get("stale", False),
         )
         self.mtp_samples.append(sample)
+        if self.obs is not None:
+            # Feed the online MTP histogram (p50/p95/p99 without
+            # retaining samples) and the per-segment decomposition.
+            self.obs.record_mtp(sample)
         self.display_events.append(
             DisplayEvent(
                 submit_time=info.swap_time,

@@ -44,6 +44,10 @@ class SupervisorConfig:
     dead_letter: bool = True             # route poison events instead of dropping them
     dead_letter_topic: str = "dead_letter"
     supervision_topic: str = "supervision"
+    # Every lifecycle event (crash, hang, retry, quarantine, dead_letter,
+    # degraded) is also delivered here so traced chaos runs show the
+    # supervisor's actions on their own lane (see repro.obs).
+    observability_topic: str = "sys/observability"
 
     def __post_init__(self) -> None:
         if self.max_consecutive_failures < 1:
@@ -110,9 +114,22 @@ class RuntimeSupervisor:
         def collect(event) -> None:
             notice = event.data
             if isinstance(notice, SupervisionEvent) and notice.kind == "degraded":
-                self.events.append(notice)
+                self._emit(notice)
 
         switchboard.topic(self.config.supervision_topic).subscribe_callback(collect)
+
+    def _emit(self, event: SupervisionEvent) -> None:
+        """Ledger the event and route it onto the observability topic.
+
+        Uses ``deliver`` (not ``put``): supervision traffic must never
+        itself be faulted.  Without a switchboard (standalone unit use)
+        the ledger alone is kept.
+        """
+        self.events.append(event)
+        if self._switchboard is not None:
+            self._switchboard.topic(self.config.observability_topic).deliver(
+                event.time, event
+            )
 
     # ------------------------------------------------------------------
     # Outcome handlers (called by the scheduler)
@@ -140,7 +157,7 @@ class RuntimeSupervisor:
         else:
             entry.crashes += 1
         entry.consecutive_failures += 1
-        self.events.append(SupervisionEvent(time, name, kind, repr(exc)))
+        self._emit(SupervisionEvent(time, name, kind, repr(exc)))
         if entry.consecutive_failures >= self.config.max_consecutive_failures:
             self._quarantine(name, time)
             return "quarantine"
@@ -148,7 +165,7 @@ class RuntimeSupervisor:
 
     def record_retry(self, name: str, time: float, delay: float) -> None:
         self.plugin_health(name).retries += 1
-        self.events.append(SupervisionEvent(time, name, "retry", f"backoff={delay:.4f}"))
+        self._emit(SupervisionEvent(time, name, "retry", f"backoff={delay:.4f}"))
 
     def backoff_delay(self, name: str) -> float:
         """Exponential backoff keyed to the consecutive-failure count."""
@@ -167,7 +184,7 @@ class RuntimeSupervisor:
         """Route a poison trigger event to the dead-letter topic."""
         entry = self.plugin_health(name)
         entry.dead_letters += 1
-        self.events.append(SupervisionEvent(time, name, "dead_letter", repr(exc)))
+        self._emit(SupervisionEvent(time, name, "dead_letter", repr(exc)))
         if self.config.dead_letter and self._switchboard is not None:
             topic = self._switchboard.topic(self.config.dead_letter_topic)
             topic.deliver(time, event, data_time=getattr(event, "effective_data_time", None))
@@ -179,7 +196,7 @@ class RuntimeSupervisor:
         entry.quarantined = True
         entry.quarantined_at = time
         notice = SupervisionEvent(time, name, "quarantine", f"after {entry.consecutive_failures} consecutive failures")
-        self.events.append(notice)
+        self._emit(notice)
         if self._switchboard is not None:
             self._switchboard.topic(self.config.supervision_topic).deliver(time, notice)
 

@@ -1,0 +1,160 @@
+"""Aggregation edges of the telemetry layer (repro.core.records).
+
+Complements test_phonebook_plugin_records.py with the corner cases the
+observability work leans on: killed invocations carrying no cost,
+per-pipeline grouping, and empty-logger summaries.
+"""
+
+import math
+
+import pytest
+
+from repro.core.records import DropRecord, InvocationRecord, RecordLogger, mean_std
+
+
+def _record(
+    plugin="p",
+    pipeline="perception",
+    index=0,
+    start=0.0,
+    end=0.01,
+    cpu=0.01,
+    gpu=0.0,
+    missed=False,
+    killed=False,
+):
+    return InvocationRecord(
+        plugin=plugin,
+        component=plugin,
+        pipeline=pipeline,
+        index=index,
+        scheduled_at=start,
+        start=start,
+        end=end,
+        cpu_time=cpu,
+        gpu_time=gpu,
+        deadline=0.1,
+        missed_deadline=missed,
+        killed=killed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Killed invocations are excluded from cost accounting
+# ---------------------------------------------------------------------------
+
+
+def test_killed_invocations_excluded_from_cpu_totals():
+    logger = RecordLogger()
+    logger.log(_record(index=0, cpu=0.02))
+    # A killed record *should* arrive with zero cost, but the accounting
+    # must not depend on the producer honouring that.
+    logger.log(_record(index=1, cpu=0.5, killed=True))
+    assert logger.cpu_time_totals() == pytest.approx({"p": 0.02})
+
+
+def test_killed_invocations_excluded_from_cpu_share():
+    logger = RecordLogger()
+    logger.log(_record(plugin="a", index=0, cpu=0.03))
+    logger.log(_record(plugin="b", index=0, cpu=0.01))
+    logger.log(_record(plugin="b", index=1, cpu=9.0, killed=True))
+    share = logger.cpu_share()
+    assert share["a"] == pytest.approx(0.75)
+    assert share["b"] == pytest.approx(0.25)
+
+
+def test_killed_invocations_not_counted_as_frames_but_counted_as_kills():
+    logger = RecordLogger()
+    for i in range(4):
+        logger.log(_record(index=i, killed=(i == 3)))
+    assert logger.frame_rate("p", duration=1.0) == pytest.approx(3.0)
+    assert logger.kill_count("p") == 1
+    # Execution-time stats also skip the killed invocation.
+    assert len(logger.execution_times("p")) == 3
+
+
+def test_all_killed_behaves_like_empty_logger():
+    logger = RecordLogger()
+    logger.log(_record(index=0, cpu=0.1, killed=True))
+    # A plugin whose every invocation was reaped consumed nothing; the
+    # cost accounting treats it as if it never ran (no NaN shares).
+    assert logger.cpu_time_totals() == {}
+    assert logger.cpu_share() == {}
+    assert logger.kill_count("p") == 1
+
+
+# ---------------------------------------------------------------------------
+# Per-pipeline grouping
+# ---------------------------------------------------------------------------
+
+
+def _three_pipeline_logger():
+    logger = RecordLogger()
+    logger.log(_record(plugin="vio", pipeline="perception", index=0, cpu=0.06))
+    logger.log(_record(plugin="integrator", pipeline="perception", index=0, cpu=0.02))
+    logger.log(_record(plugin="timewarp", pipeline="visual", index=0, cpu=0.01))
+    logger.log(_record(plugin="audio", pipeline="audio", index=0, cpu=0.01))
+    return logger
+
+
+def test_for_pipeline_groups_records():
+    logger = _three_pipeline_logger()
+    perception = logger.for_pipeline("perception")
+    assert [r.plugin for r in perception] == ["vio", "integrator"]
+    assert [r.plugin for r in logger.for_pipeline("visual")] == ["timewarp"]
+    assert logger.for_pipeline("ghost") == []
+
+
+def test_pipelines_listing_sorted():
+    assert _three_pipeline_logger().pipelines() == ["audio", "perception", "visual"]
+
+
+def test_pipeline_cpu_share_sums_to_one():
+    logger = _three_pipeline_logger()
+    share = logger.pipeline_cpu_share()
+    assert sum(share.values()) == pytest.approx(1.0)
+    assert share["perception"] == pytest.approx(0.8)
+    assert share["visual"] == pytest.approx(0.1)
+    assert share["audio"] == pytest.approx(0.1)
+
+
+def test_pipeline_cpu_share_excludes_killed():
+    logger = _three_pipeline_logger()
+    logger.log(_record(plugin="vio", pipeline="perception", index=1, cpu=5.0, killed=True))
+    assert logger.pipeline_cpu_share()["perception"] == pytest.approx(0.8)
+
+
+# ---------------------------------------------------------------------------
+# Empty-logger summaries
+# ---------------------------------------------------------------------------
+
+
+def test_empty_logger_summaries():
+    logger = RecordLogger()
+    assert logger.plugins() == []
+    assert logger.pipelines() == []
+    assert logger.cpu_time_totals() == {}
+    assert logger.cpu_share() == {}
+    assert logger.pipeline_cpu_share() == {}
+    assert logger.miss_rate("anything") == 0.0
+    assert logger.drop_count("anything") == 0
+    assert logger.kill_count("anything") == 0
+    assert math.isnan(logger.mean_execution_time("anything"))
+
+
+def test_drop_records_grouped_per_plugin():
+    logger = RecordLogger()
+    for t in (0.1, 0.2, 0.3):
+        logger.log_drop("vio", t)
+    logger.log_drop("timewarp", 0.4)
+    assert logger.drop_count("vio") == 3
+    assert logger.drop_count("timewarp") == 1
+    assert logger.drops[0] == DropRecord("vio", 0.1)
+
+
+def test_mean_std_empty_sequence_is_nan_pair():
+    mean, std = mean_std([])
+    assert math.isnan(mean) and math.isnan(std)
+    mean, std = mean_std([2.0, 4.0])
+    assert mean == pytest.approx(3.0)
+    assert std == pytest.approx(1.0)
